@@ -1,0 +1,100 @@
+"""Experiment A2 — channel capacity and qubit-speed sensitivity.
+
+DESIGN.md calls out two model knobs worth ablating:
+
+* ``N_c`` — the channel capacity separating the uncongested regime from
+  the M/M/1 pipeline of Eq. 8;
+* ``v`` — the qubit speed, the 1/v scale factor on every routing latency
+  and the paper's designated mapper-tuning knob.
+
+The bench sweeps both on a congestion-prone benchmark and prints the
+resulting ``L_CNOT^avg`` and total latency.  Asserted shape: latency is
+non-increasing in both ``N_c`` and ``v``, and exactly inversely
+proportional to ``v`` in its routing component.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.report import format_scientific, format_table
+from repro.core.estimator import LEQAEstimator
+from repro.fabric.params import FabricSpec
+
+from _common import calibrated_params, ft_circuit
+
+BENCH = "hwb15ps"
+CAPACITIES = (1, 2, 5, 10, 20)
+SPEED_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_channel_capacity_sensitivity(benchmark):
+    base = dataclasses.replace(
+        calibrated_params(), fabric=FabricSpec(20, 20)
+    )  # small fabric: congestion visible
+    circuit = ft_circuit(BENCH)
+    rows, l_values = [], []
+    for capacity in CAPACITIES:
+        params = dataclasses.replace(base, channel_capacity=capacity)
+        estimate = LEQAEstimator(params=params).estimate(circuit)
+        l_values.append(estimate.l_avg_cnot)
+        rows.append(
+            [
+                capacity,
+                f"{estimate.l_avg_cnot:.1f}",
+                format_scientific(estimate.latency_seconds),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["N_c", "L_CNOT^avg (us)", "Estimated Delay (s)"],
+            rows,
+            title=f"A2a - channel capacity sweep for {BENCH} (20x20 fabric)",
+        )
+    )
+    # Wider channels can only reduce congestion.
+    assert all(b <= a * (1 + 1e-9) for a, b in zip(l_values, l_values[1:]))
+
+    estimator = LEQAEstimator(params=base)
+    benchmark.pedantic(
+        estimator.estimate, args=(circuit,), rounds=3, iterations=1
+    )
+
+
+def test_qubit_speed_sensitivity(benchmark):
+    base = calibrated_params()
+    circuit = ft_circuit(BENCH)
+    reference = benchmark.pedantic(
+        LEQAEstimator(params=base).estimate,
+        args=(circuit,),
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    for factor in SPEED_FACTORS:
+        params = dataclasses.replace(
+            base, qubit_speed=base.qubit_speed * factor
+        )
+        estimate = LEQAEstimator(params=params).estimate(circuit)
+        rows.append(
+            [
+                f"{factor:.2f} v0",
+                f"{estimate.l_avg_cnot:.1f}",
+                format_scientific(estimate.latency_seconds),
+            ]
+        )
+        # L_CNOT^avg scales exactly as 1/v.
+        assert estimate.l_avg_cnot == pytest.approx(
+            reference.l_avg_cnot / factor, rel=1e-9
+        )
+    print()
+    print(
+        format_table(
+            ["Qubit speed", "L_CNOT^avg (us)", "Estimated Delay (s)"],
+            rows,
+            title=f"A2b - qubit speed sweep for {BENCH}",
+        )
+    )

@@ -1,0 +1,96 @@
+"""Experiment C1 — section 4.2 claim: runtime scaling exponents.
+
+The paper fits the two tools' runtimes against circuit operation count and
+finds QSPR scaling super-linearly ("with degree of 1.5") while "LEQA
+runtime depends only linearly on this count", then extrapolates to
+Shor-1024 (1.35e10 logical operations): ~2 years of QSPR vs 16.5 hours of
+LEQA.
+
+This bench measures both tools across the hwb family — the size sweep
+whose qubit count grows with operation count, so the mapper's routing
+work (route lengths, congestion, placement) deepens with scale as it does
+across the paper's benchmark mix.  (The gf2 family keeps the fabric
+almost empty at these sizes and both tools look linear on it; see
+test_gf2_family_ratio.py for that family's ratios.)  It fits the power
+laws and prints them plus the Shor-1024 extrapolation.  Asserted shape:
+the mapper's exponent exceeds LEQA's, and LEQA's is near-linear.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.analysis.scaling import extrapolate, fit_power_law
+from repro.circuits.decompose import synthesize_ft
+from repro.circuits.generators import hwb
+from repro.core.estimator import LEQAEstimator
+from repro.qspr.mapper import QSPRMapper
+
+from _common import calibrated_params, ft_circuit
+
+#: hwb sizes for the sweep; a decade of operation counts with qubit
+#: counts growing from ~100 to ~2800.
+HWB_SIZES = (15, 25, 40, 60, 90)
+
+#: Logical operation count of Shor-1024 per the paper (1.35e15 physical /
+#: 1e5 physical-per-logical).
+SHOR_1024_LOGICAL_OPS = 1.35e10
+
+
+def test_scaling_exponents(benchmark):
+    params = calibrated_params()
+    estimator = LEQAEstimator(params=params)
+    mapper = QSPRMapper(params=params)
+    sizes, mapper_times, leqa_times = [], [], []
+    rows = []
+    for n in HWB_SIZES:
+        circuit = synthesize_ft(hwb(n))
+        started = time.perf_counter()
+        mapper.map(circuit)
+        mapper_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        estimator.estimate(circuit)
+        leqa_elapsed = time.perf_counter() - started
+        sizes.append(len(circuit))
+        mapper_times.append(mapper_elapsed)
+        leqa_times.append(leqa_elapsed)
+        rows.append(
+            [f"hwb{n}", circuit.num_qubits, len(circuit),
+             f"{mapper_elapsed:.3f}", f"{leqa_elapsed:.3f}"]
+        )
+    mapper_fit = fit_power_law(sizes, mapper_times)
+    leqa_fit = fit_power_law(sizes, leqa_times)
+    print()
+    print(
+        format_table(
+            ["Circuit", "Qubits", "Ops", "Mapper (s)", "LEQA (s)"],
+            rows,
+            title="C1 - runtime sweep over the hwb family",
+        )
+    )
+    print(
+        f"\nmapper runtime ~ ops^{mapper_fit.exponent:.2f} "
+        f"(R^2={mapper_fit.r_squared:.3f}; paper: 1.5)"
+    )
+    print(
+        f"LEQA   runtime ~ ops^{leqa_fit.exponent:.2f} "
+        f"(R^2={leqa_fit.r_squared:.3f}; paper: 1.0)"
+    )
+    mapper_shor = extrapolate(mapper_fit, SHOR_1024_LOGICAL_OPS)
+    leqa_shor = extrapolate(leqa_fit, SHOR_1024_LOGICAL_OPS)
+    print(
+        f"Shor-1024 extrapolation: mapper {mapper_shor / 86400:.1f} days, "
+        f"LEQA {leqa_shor / 3600:.1f} hours "
+        f"({mapper_shor / leqa_shor:.0f}x)"
+    )
+    # Shape assertions: the mapper scales worse than LEQA; LEQA near-linear.
+    assert mapper_fit.exponent > leqa_fit.exponent
+    assert leqa_fit.exponent < 1.4
+    assert mapper_shor > leqa_shor
+
+    # Timed quantity: one LEQA estimate at the sweep's midpoint.
+    circuit = ft_circuit("hwb15ps")
+    benchmark.pedantic(
+        estimator.estimate, args=(circuit,), rounds=3, iterations=1
+    )

@@ -1,0 +1,57 @@
+"""Experiment T1 — Table 1: physical parameters of the TQA.
+
+Table 1 is an input table, not a measurement; this bench asserts the
+defaults replicate it exactly and prints it in the paper's two-column
+layout.  The benchmark itself times parameter-set construction (the
+"ULB fabric designer output" path LEQA treats as free).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.fabric.params import DEFAULT_PARAMS, GateDelays, PhysicalParams
+
+
+def test_table1_parameters(benchmark):
+    params = benchmark(PhysicalParams)
+    delays = params.delays
+    assert delays.h == 5440.0
+    assert delays.t == delays.tdg == 10940.0
+    assert delays.x == delays.y == delays.z == 5240.0
+    assert delays.cnot == 4930.0
+    assert params.channel_capacity == 5
+    assert params.qubit_speed == 0.001
+    assert params.fabric.width == params.fabric.height == 60
+    assert params.fabric.area == 3600
+    assert params.t_move == 100.0
+    assert params == DEFAULT_PARAMS
+
+    print()
+    print(
+        format_table(
+            ["Parameter", "Value"],
+            [
+                ["d_H", f"{delays.h:.0f} us"],
+                ["d_T, d_Tdg", f"{delays.t:.0f} us"],
+                ["d_X, d_Y, d_Z", f"{delays.x:.0f} us"],
+                ["d_CNOT", f"{delays.cnot:.0f} us"],
+                ["N_c", params.channel_capacity],
+                ["v", params.qubit_speed],
+                [
+                    "A = a x b",
+                    f"{params.fabric.area} = "
+                    f"{params.fabric.width} x {params.fabric.height}",
+                ],
+                ["T_move", f"{params.t_move:.0f} us"],
+            ],
+            title="Table 1 - physical parameters of the TQA (paper defaults)",
+        )
+    )
+
+
+def test_gate_delay_table_covers_ft_set(benchmark):
+    from repro.circuits.gates import FT_KINDS
+
+    table = benchmark(lambda: GateDelays().by_kind())
+    assert set(table) == set(FT_KINDS)
+    assert all(value > 0 for value in table.values())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Comparing software coding techniques — the algorithm-designer use case.
+
+"This method would enable quantum algorithm designers ... to learn
+efficient ways of coding their quantum algorithms by quickly comparing
+the latency of different software coding techniques."
+
+The script compares two codings of the same function — a multi-controlled
+NOT with 8 controls — at the netlist level:
+
+* **flat**: one 8-control MCT, expanded by the paper's ancilla-chain
+  method (no ancilla sharing) during FT synthesis;
+* **balanced**: a hand-written tree of Toffolis computing the conjunction
+  in log depth before the final flip, then uncomputing.
+
+Both are verified functionally identical on sampled inputs, then LEQA
+scores their latency under the Table-1 fabric.  The balanced coding wins
+on latency (shorter critical path) at the cost of extra ancilla qubits —
+exactly the coding trade-off the paper wants designers to iterate on.
+
+Run:  python examples/coding_comparison.py
+"""
+
+import random
+
+from repro import Circuit, DEFAULT_PARAMS, LEQAEstimator, synthesize_ft
+from repro.circuits import mct, toffoli
+from repro.circuits.simulate import simulate_basis
+
+NUM_CONTROLS = 8
+
+
+def flat_coding() -> Circuit:
+    """One big multi-controlled Toffoli; FT synthesis expands it."""
+    circuit = Circuit(NUM_CONTROLS + 1, name="flat-mct")
+    circuit.append(mct(tuple(range(NUM_CONTROLS)), NUM_CONTROLS))
+    return circuit
+
+
+def balanced_coding() -> Circuit:
+    """Log-depth conjunction tree with explicit ancillas."""
+    circuit = Circuit(NUM_CONTROLS + 1, name="balanced-tree")
+    target = NUM_CONTROLS
+    layer = list(range(NUM_CONTROLS))
+    compute = []
+    while len(layer) > 2:
+        next_layer = []
+        for i in range(0, len(layer) - 1, 2):
+            anc = circuit.add_qubit()
+            compute.append(toffoli(layer[i], layer[i + 1], anc))
+            next_layer.append(anc)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+    circuit.extend(compute)
+    circuit.append(toffoli(layer[0], layer[1], target))
+    circuit.extend(reversed(compute))
+    return circuit
+
+
+def check_equivalent(flat: Circuit, tree: Circuit, samples: int = 200) -> None:
+    """Both codings must agree on the control/target qubits."""
+    rng = random.Random(42)
+    width = NUM_CONTROLS + 1
+    for _ in range(samples):
+        bits = [rng.randrange(2) for _ in range(width)]
+        out_flat = simulate_basis(flat, bits + [0] * (flat.num_qubits - width))
+        out_tree = simulate_basis(tree, bits + [0] * (tree.num_qubits - width))
+        assert out_flat[:width] == out_tree[:width], "codings disagree!"
+
+
+def main() -> None:
+    estimator = LEQAEstimator(params=DEFAULT_PARAMS)
+    codings = {"flat MCT chain": flat_coding(), "balanced tree": balanced_coding()}
+
+    # The flat coding gains its ancillas inside synthesize_ft; lower both
+    # to the FT gate set first, then verify equivalence on the Toffoli
+    # level (classical simulation).
+    from repro.circuits import eliminate_fredkin, eliminate_swap, expand_multi_controlled
+
+    flat_toffoli = eliminate_fredkin(
+        eliminate_swap(expand_multi_controlled(codings["flat MCT chain"]))
+    )
+    check_equivalent(flat_toffoli, codings["balanced tree"])
+    print("functional check: both codings compute the same function\n")
+
+    for label, circuit in codings.items():
+        ft = synthesize_ft(circuit)
+        estimate = estimator.estimate(ft)
+        critical = len(estimate.critical.node_ids)
+        print(
+            f"{label:16s}: {ft.num_qubits:3d} qubits, {len(ft):4d} FT ops, "
+            f"critical path {critical:4d} ops, "
+            f"estimated latency {estimate.latency_seconds * 1e3:8.2f} ms"
+        )
+    print(
+        "\nSame function, different codings, measurably different latency - "
+        "scored in milliseconds per variant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fabric sizing: find the fabric that minimizes estimated latency.
+
+Section 3.3: the fabric size "can be changed to find the optimal size for
+the fabric which results in the minimum delay".  Small fabrics force many
+presence zones to overlap (channel congestion, the M/M/1 regime of
+Eq. 8); huge fabrics waste area once congestion has vanished.  LEQA makes
+the sweep instant.
+
+The script sweeps square fabrics for a congestion-prone benchmark and
+prints the latency curve along with the congestion share, then reports
+the smallest fabric within 0.5 % of the best latency — a sensible
+"knee" recommendation a fabric architect would act on.
+
+Run:  python examples/fabric_sizing.py
+"""
+
+from repro import DEFAULT_PARAMS, LEQAEstimator, build_ft
+from repro.analysis import format_table
+
+SIZES = [8, 10, 14, 20, 28, 40, 60, 90]
+BENCH = "hwb20ps"
+
+
+def main() -> None:
+    circuit = build_ft(BENCH)
+    print(
+        f"benchmark {BENCH}: {circuit.num_qubits} qubits, "
+        f"{len(circuit)} FT ops\n"
+    )
+    results = []
+    for size in SIZES:
+        params = DEFAULT_PARAMS.with_fabric(size, size)
+        estimate = LEQAEstimator(params=params).estimate(circuit)
+        results.append((size, estimate))
+    best_latency = min(e.latency for _, e in results)
+    rows = []
+    for size, estimate in results:
+        overhead = (estimate.latency / best_latency - 1.0) * 100
+        rows.append(
+            [
+                f"{size} x {size}",
+                size * size,
+                f"{estimate.latency_seconds:.3f}",
+                f"{estimate.l_avg_cnot:.1f}",
+                f"+{overhead:.2f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["Fabric", "ULBs", "Est. latency (s)", "L_CNOT^avg (us)",
+             "vs best"],
+            rows,
+            title="Fabric-size sweep",
+        )
+    )
+    knee = next(
+        size
+        for size, estimate in results
+        if estimate.latency <= best_latency * 1.005
+    )
+    print(
+        f"\nrecommended fabric: {knee} x {knee} "
+        "(smallest within 0.5% of the best latency)"
+    )
+
+
+if __name__ == "__main__":
+    main()

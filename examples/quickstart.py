@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate a quantum algorithm's latency in milliseconds of
+CPU time instead of running a full mapper.
+
+Builds a Table-3 benchmark, runs LEQA (the analytical estimator) and the
+QSPR-class detailed mapper side by side, and prints the accuracy row —
+a one-benchmark slice of the paper's Table 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DEFAULT_PARAMS,
+    LEQAEstimator,
+    QSPRMapper,
+    absolute_error_percent,
+    build_ft,
+)
+
+
+def main() -> None:
+    # 1. A fault-tolerant netlist: the GF(2^16) multiplier from the
+    #    paper's benchmark list, synthesized down to {CNOT, H, T, ...}.
+    circuit = build_ft("gf2^16mult")
+    stats = circuit.stats()
+    print(f"benchmark        : {circuit.name}")
+    print(f"logical qubits   : {stats.qubit_count}")
+    print(f"FT operations    : {stats.gate_count}")
+    print(f"CNOTs            : {stats.two_qubit_count}")
+    print()
+
+    # 2. LEQA: presence zones + coverage statistics + M/M/1 queueing,
+    #    then one critical-path pass.  Milliseconds of work.
+    estimate = LEQAEstimator(params=DEFAULT_PARAMS).estimate(circuit)
+    print(f"LEQA estimate    : {estimate.latency_seconds:.3f} s "
+          f"(computed in {estimate.elapsed_seconds:.3f} s)")
+    print(f"  avg zone area B: {estimate.average_zone_area:.2f} ULBs")
+    print(f"  d_uncong       : {estimate.d_uncong:.1f} us")
+    print(f"  L_CNOT^avg     : {estimate.l_avg_cnot:.1f} us")
+    print()
+
+    # 3. The expensive way: detailed scheduling, placement and routing of
+    #    every qubit movement on the 60x60 tiled architecture.
+    actual = QSPRMapper(params=DEFAULT_PARAMS).map(circuit)
+    print(f"mapper actual    : {actual.latency_seconds:.3f} s "
+          f"(computed in {actual.elapsed_seconds:.3f} s)")
+    moves = actual.schedule.stats
+    print(f"  qubit moves    : {moves.total_moves}")
+    print(f"  channel hops   : {moves.total_hops}")
+    print()
+
+    # 4. The paper's Table-2 comparison for this benchmark.
+    error = absolute_error_percent(
+        actual.latency_seconds, estimate.latency_seconds
+    )
+    speedup = actual.elapsed_seconds / max(estimate.elapsed_seconds, 1e-9)
+    print(f"absolute error   : {error:.2f} %")
+    print(f"estimator speedup: {speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — reproduction of LEQA (Dousti & Pedram, DAC 2013).
+
+LEQA estimates the latency of a quantum algorithm mapped to a tiled
+quantum architecture analytically — presence zones, coverage statistics
+and M/M/1 channel queueing — instead of running a detailed scheduler/
+placer/router.  This package implements the estimator, the fabric model,
+the FT synthesis flow, the benchmark circuit families and a QSPR-class
+detailed mapper to compare against.
+
+Quickstart::
+
+    from repro import build_ft, estimate_latency, map_circuit
+
+    circuit = build_ft("gf2^16mult")        # FT netlist of a benchmark
+    estimate = estimate_latency(circuit)     # LEQA, milliseconds of work
+    actual = map_circuit(circuit)            # detailed mapper, the slow way
+    print(estimate.latency_seconds, actual.latency_seconds)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from .analysis import (
+    AccuracyRow,
+    AccuracySummary,
+    absolute_error_percent,
+    calibrate_qubit_speed,
+    fit_power_law,
+    summarize,
+)
+from .circuits import (
+    BENCHMARKS,
+    Circuit,
+    Gate,
+    GateKind,
+    benchmark_names,
+    build,
+    build_ft,
+    read_qasm_lite,
+    read_real,
+    synthesize_ft,
+)
+from .core import LatencyEstimate, LEQAEstimator, estimate_latency
+from .exceptions import (
+    CircuitError,
+    DecompositionError,
+    EstimationError,
+    FabricError,
+    GraphError,
+    MappingError,
+    ParseError,
+    ReproError,
+)
+from .fabric import DEFAULT_PARAMS, FabricSpec, GateDelays, PhysicalParams, TQA
+from .qodg import IIG, QODG, build_iig, build_qodg, critical_path
+from .qspr import MappingResult, QSPRMapper, map_circuit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyRow",
+    "AccuracySummary",
+    "absolute_error_percent",
+    "calibrate_qubit_speed",
+    "fit_power_law",
+    "summarize",
+    "BENCHMARKS",
+    "Circuit",
+    "Gate",
+    "GateKind",
+    "benchmark_names",
+    "build",
+    "build_ft",
+    "read_qasm_lite",
+    "read_real",
+    "synthesize_ft",
+    "LatencyEstimate",
+    "LEQAEstimator",
+    "estimate_latency",
+    "CircuitError",
+    "DecompositionError",
+    "EstimationError",
+    "FabricError",
+    "GraphError",
+    "MappingError",
+    "ParseError",
+    "ReproError",
+    "DEFAULT_PARAMS",
+    "FabricSpec",
+    "GateDelays",
+    "PhysicalParams",
+    "TQA",
+    "IIG",
+    "QODG",
+    "build_iig",
+    "build_qodg",
+    "critical_path",
+    "MappingResult",
+    "QSPRMapper",
+    "map_circuit",
+    "__version__",
+]

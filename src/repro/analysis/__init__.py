@@ -1,0 +1,30 @@
+"""Analysis toolkit: accuracy metrics, scaling fits, calibration, tables."""
+
+from .calibration import calibrate_qubit_speed
+from .errors import AccuracyRow, AccuracySummary, absolute_error_percent, summarize
+from .report import format_scientific, format_table, print_table
+from .scaling import PowerLawFit, extrapolate, fit_power_law
+from .visualize import (
+    congestion_heatmap,
+    coverage_heatmap,
+    render_grid,
+    utilization_heatmap,
+)
+
+__all__ = [
+    "calibrate_qubit_speed",
+    "AccuracyRow",
+    "AccuracySummary",
+    "absolute_error_percent",
+    "summarize",
+    "format_scientific",
+    "format_table",
+    "print_table",
+    "PowerLawFit",
+    "extrapolate",
+    "fit_power_law",
+    "congestion_heatmap",
+    "coverage_heatmap",
+    "render_grid",
+    "utilization_heatmap",
+]

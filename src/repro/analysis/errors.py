@@ -1,0 +1,73 @@
+"""Accuracy metrics for estimator-vs-mapper comparisons (Table 2).
+
+The paper's Table 2 reports, per benchmark, the actual delay (QSPR), the
+estimated delay (LEQA) and the absolute percentage error, then summarizes
+the average (2.11 %) and maximum (< 9 %) error.  This module computes those
+quantities from paired results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import EstimationError
+
+__all__ = ["AccuracyRow", "AccuracySummary", "absolute_error_percent", "summarize"]
+
+
+def absolute_error_percent(actual: float, estimated: float) -> float:
+    """``|actual - estimated| / actual * 100`` — Table 2's error column.
+
+    Raises
+    ------
+    EstimationError
+        If ``actual`` is not positive (a zero-latency reference has no
+        meaningful relative error).
+    """
+    if actual <= 0:
+        raise EstimationError(
+            f"actual latency must be positive, got {actual}"
+        )
+    return abs(actual - estimated) / actual * 100.0
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One benchmark's accuracy record (a row of Table 2)."""
+
+    name: str
+    actual_seconds: float
+    estimated_seconds: float
+
+    @property
+    def error_percent(self) -> float:
+        """Absolute percentage error of the estimate."""
+        return absolute_error_percent(self.actual_seconds, self.estimated_seconds)
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Aggregate accuracy over a benchmark set.
+
+    ``average_error_percent`` is the unweighted mean of per-row absolute
+    errors (the paper's 2.11 % statistic) and ``max_error_percent`` the
+    worst row (the paper's "below 9 %").
+    """
+
+    rows: tuple[AccuracyRow, ...]
+    average_error_percent: float
+    max_error_percent: float
+
+
+def summarize(rows: Sequence[AccuracyRow]) -> AccuracySummary:
+    """Aggregate per-row errors into the Table 2 summary statistics."""
+    rows = tuple(rows)
+    if not rows:
+        raise EstimationError("cannot summarize an empty accuracy table")
+    errors = [row.error_percent for row in rows]
+    return AccuracySummary(
+        rows=rows,
+        average_error_percent=sum(errors) / len(errors),
+        max_error_percent=max(errors),
+    )

@@ -1,0 +1,65 @@
+"""Fixed-width table rendering used by the benchmark harness.
+
+The benches print tables mirroring the paper's Tables 1-3; this module
+keeps the formatting in one place so every bench produces uniform,
+diff-friendly output (EXPERIMENTS.md embeds these tables verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import ReproError
+
+__all__ = ["format_table", "format_scientific", "print_table"]
+
+
+def format_scientific(value: float, digits: int = 3) -> str:
+    """Scientific notation matching the paper's Table 2 style
+    (e.g. ``1.617E+00``)."""
+    return f"{value:.{digits}E}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width text table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller (see :func:`format_scientific`).  Column widths adapt to the
+    longest cell.
+    """
+    if not headers:
+        raise ReproError("table needs at least one column")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` output, framed by blank lines."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,78 @@
+"""Runtime-scaling fits (paper section 4.2 claims).
+
+The paper observes that "QSPR runtime scales super linearly with operation
+count in the circuit (with degree of 1.5) whereas LEQA runtime depends only
+linearly on this count", and extrapolates both to Shor-1024 scale.  This
+module fits the power law ``runtime = c * ops**alpha`` to measured
+(ops, runtime) pairs by least squares in log-log space and provides the
+extrapolation helper used by the scaling bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import EstimationError
+
+__all__ = ["PowerLawFit", "fit_power_law", "extrapolate"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``runtime = coefficient * size**exponent``.
+
+    ``r_squared`` is the coefficient of determination in log-log space —
+    how well a pure power law explains the measurements.
+    """
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, size: float) -> float:
+        """Predicted runtime at the given size."""
+        if size <= 0:
+            raise EstimationError(f"size must be positive, got {size}")
+        return self.coefficient * size**self.exponent
+
+
+def fit_power_law(
+    sizes: Sequence[float], runtimes: Sequence[float]
+) -> PowerLawFit:
+    """Fit ``runtime = c * size**alpha`` through log-log least squares.
+
+    Requires at least two points with positive sizes and runtimes.
+    """
+    if len(sizes) != len(runtimes):
+        raise EstimationError(
+            f"sizes ({len(sizes)}) and runtimes ({len(runtimes)}) differ"
+        )
+    if len(sizes) < 2:
+        raise EstimationError("power-law fit needs at least two points")
+    for value in list(sizes) + list(runtimes):
+        if value <= 0:
+            raise EstimationError(
+                f"power-law fit requires positive data, got {value}"
+            )
+    log_sizes = np.log(np.asarray(sizes, dtype=float))
+    log_runtimes = np.log(np.asarray(runtimes, dtype=float))
+    slope, intercept = np.polyfit(log_sizes, log_runtimes, 1)
+    predicted = slope * log_sizes + intercept
+    residual = float(np.sum((log_runtimes - predicted) ** 2))
+    total = float(np.sum((log_runtimes - log_runtimes.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def extrapolate(fit: PowerLawFit, size: float) -> float:
+    """Runtime predicted by the fit at ``size`` (e.g. Shor-1024's 1.35e10
+    logical operations, the paper's headline extrapolation)."""
+    return fit.predict(size)

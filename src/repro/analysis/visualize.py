@@ -1,0 +1,125 @@
+"""Text-mode visualizations of fabric-level quantities.
+
+Terminal-friendly heatmaps (no plotting dependencies) for the three grids
+an architect inspects when debugging a mapping or sizing a fabric:
+
+* :func:`coverage_heatmap` — the analytical ``P_{x,y}`` surface of Eq. 5,
+* :func:`utilization_heatmap` — per-ULB busy fraction from a mapper
+  :class:`~repro.qspr.trace.ScheduleTrace`,
+* :func:`congestion_heatmap` — channel-crossing counts per ULB from the
+  same trace.
+
+Each renders a `height`-row block of intensity glyphs plus a legend.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.coverage import coverage_probability
+from ..exceptions import ReproError
+from ..qspr.trace import ScheduleTrace, ulb_utilization
+
+__all__ = [
+    "INTENSITY_GLYPHS",
+    "render_grid",
+    "coverage_heatmap",
+    "utilization_heatmap",
+    "congestion_heatmap",
+]
+
+#: Glyph ramp from empty to saturated.
+INTENSITY_GLYPHS = " .:-=+*#%@"
+
+
+def render_grid(
+    values: dict[tuple[int, int], float],
+    width: int,
+    height: int,
+    title: str,
+    legend_format: str = "{:.3f}",
+) -> str:
+    """Render a sparse ``(x, y) -> value`` grid as an ASCII heatmap.
+
+    Values are normalized to the observed maximum; missing cells render
+    as blank.  Row 0 is printed at the bottom (y grows upward), matching
+    the paper's coordinate convention.
+    """
+    if width <= 0 or height <= 0:
+        raise ReproError("heatmap dimensions must be positive")
+    peak = max(values.values(), default=0.0)
+    lines = [title]
+    glyph_count = len(INTENSITY_GLYPHS)
+    for y in range(height - 1, -1, -1):
+        row = []
+        for x in range(width):
+            value = values.get((x, y))
+            if value is None or peak <= 0:
+                row.append(" ")
+                continue
+            level = int(value / peak * (glyph_count - 1) + 0.5)
+            row.append(INTENSITY_GLYPHS[max(0, min(level, glyph_count - 1))])
+        lines.append("|" + "".join(row) + "|")
+    low = legend_format.format(0.0)
+    high = legend_format.format(peak)
+    lines.append(
+        f"scale: ' '={low} ... '@'={high}  ({width}x{height} ULBs)"
+    )
+    return "\n".join(lines)
+
+
+def coverage_heatmap(width: int, height: int, area: float) -> str:
+    """Heatmap of Eq. 5's ``P_{x,y}`` over the fabric.
+
+    Shows the boundary effect the min(.) terms encode: interior ULBs are
+    covered by more zone placements than edge and corner ULBs.
+    """
+    values = {
+        (x - 1, y - 1): coverage_probability(x, y, width, height, area)
+        for x in range(1, width + 1)
+        for y in range(1, height + 1)
+    }
+    return render_grid(
+        values,
+        width,
+        height,
+        title=f"P(x,y): zone coverage probability (B={area:g})",
+    )
+
+
+def utilization_heatmap(
+    trace: ScheduleTrace, width: int, height: int
+) -> str:
+    """Heatmap of per-ULB execution busy-fraction from a schedule trace."""
+    values = {
+        ulb: fraction for ulb, fraction in ulb_utilization(trace).items()
+    }
+    return render_grid(
+        values,
+        width,
+        height,
+        title="ULB utilization (busy fraction of makespan)",
+    )
+
+
+def congestion_heatmap(
+    trace: ScheduleTrace, width: int, height: int
+) -> str:
+    """Heatmap of operand travel activity per ULB.
+
+    Each event's travel hops are charged to its execution ULB — a proxy
+    for how much traffic each neighbourhood attracts (the "highly
+    congested" overlap picture of the paper's Figure 3).
+    """
+    hops: Counter[tuple[int, int]] = Counter()
+    for event in trace:
+        if event.travel_hops:
+            hops[event.ulb] += event.travel_hops
+    values = {ulb: float(count) for ulb, count in hops.items()}
+    return render_grid(
+        values,
+        width,
+        height,
+        title="Channel traffic attracted per ULB (operand hops)",
+        legend_format="{:.0f}",
+    )

@@ -1,0 +1,163 @@
+"""Algorithm-level circuit constructions beyond the Table-3 families.
+
+These widen the benchmark surface for examples and what-if studies:
+
+* :func:`cuccaro_adder` — the CDKM ripple-carry adder (2n+2 qubits), an
+  alternative *coding* of addition to compare against the VBE
+  :func:`~repro.circuits.generators.ripple_adder` (3n qubits) — the
+  "different software coding techniques" use case of the paper's intro.
+* :func:`bernstein_vazirani` — the textbook hidden-string circuit; pure
+  {H, CNOT, X}, already fault-tolerant.
+* :func:`grover` — Grover search over ``n`` qubits with a marked-state
+  phase oracle and the standard diffusion operator, built from H/X and
+  multi-controlled gates (FT synthesis lowers the MCTs).
+
+The test suite verifies each against its mathematical definition: the
+adder by basis-state simulation, Bernstein-Vazirani and Grover by exact
+unitary simulation on small registers.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_non_negative_int, require_positive_int
+from ..exceptions import CircuitError
+from .circuit import Circuit
+from .gates import cnot, h, mct, toffoli, x, z
+
+__all__ = ["cuccaro_adder", "bernstein_vazirani", "grover"]
+
+
+def _maj(circuit: Circuit, c: int, b: int, a: int) -> None:
+    """CDKM MAJ block: (a, b, c) <- (maj(a,b,c), b xor a, c xor a)."""
+    circuit.append(cnot(a, b))
+    circuit.append(cnot(a, c))
+    circuit.append(toffoli(c, b, a))
+
+
+def _uma(circuit: Circuit, c: int, b: int, a: int) -> None:
+    """CDKM UMA block: inverse of MAJ followed by the sum write-back."""
+    circuit.append(toffoli(c, b, a))
+    circuit.append(cnot(a, c))
+    circuit.append(cnot(c, b))
+
+
+def cuccaro_adder(n: int) -> Circuit:
+    """CDKM (Cuccaro et al.) ripple-carry adder over ``2n + 2`` qubits.
+
+    Register layout (little-endian): ``cin``, interleaved
+    ``b0 a0 b1 a1 ... b{n-1} a{n-1}``, ``cout``.  Computes
+    ``b <- (a + b) mod 2**n`` with the carry-out in ``cout``; ``a`` and
+    ``cin`` are preserved.  Compared with the VBE adder (3n qubits), this
+    coding trades n-2 ancillas for a slightly longer Toffoli chain —
+    exactly the kind of alternative "coding technique" LEQA lets a
+    designer score quickly.
+    """
+    require_positive_int(n, "n", CircuitError)
+    names = ["cin"]
+    for i in range(n):
+        names += [f"b{i}", f"a{i}"]
+    names.append("cout")
+    circuit = Circuit(2 * n + 2, name=f"cuccaro{n}", qubit_names=names)
+    cin = 0
+    b = [1 + 2 * i for i in range(n)]
+    a = [2 + 2 * i for i in range(n)]
+    cout = 2 * n + 1
+    carry = cin
+    for i in range(n):
+        _maj(circuit, carry, b[i], a[i])
+        carry = a[i]
+    circuit.append(cnot(a[n - 1], cout))
+    for i in range(n - 1, -1, -1):
+        carry = cin if i == 0 else a[i - 1]
+        _uma(circuit, carry, b[i], a[i])
+    return circuit
+
+
+def bernstein_vazirani(secret: int, n: int) -> Circuit:
+    """Bernstein-Vazirani circuit recovering an ``n``-bit hidden string.
+
+    Register: ``x0 .. x{n-1}`` (query register) and ``y`` (phase ancilla,
+    prepared in |-> with X then H).  One query to the inner-product
+    oracle; measuring the query register afterwards yields ``secret``
+    with certainty.  Every gate is already in the FT set.
+    """
+    require_positive_int(n, "n", CircuitError)
+    require_non_negative_int(secret, "secret", CircuitError)
+    if secret >= 1 << n:
+        raise CircuitError(
+            f"secret {secret:#x} does not fit in {n} bits"
+        )
+    names = [f"x{i}" for i in range(n)] + ["y"]
+    circuit = Circuit(n + 1, name=f"bv{n}", qubit_names=names)
+    y = n
+    # Prepare |-> on the ancilla and |+>^n on the query register.
+    circuit.append(x(y))
+    circuit.append(h(y))
+    for i in range(n):
+        circuit.append(h(i))
+    # Oracle: f(x) = secret . x  (one CNOT per set secret bit).
+    for i in range(n):
+        if (secret >> i) & 1:
+            circuit.append(cnot(i, y))
+    # Uncompute the superposition: H reveals the string.
+    for i in range(n):
+        circuit.append(h(i))
+    return circuit
+
+
+def _phase_flip_on(circuit: Circuit, state: int, qubits: list[int]) -> None:
+    """Multiply |state> by -1: X-conjugated multi-controlled Z.
+
+    The controlled-Z core is an MCT conjugated by H on its target (the
+    standard CZ = H.CX.H identity, generalized).
+    """
+    zero_bits = [q for i, q in enumerate(qubits) if not (state >> i) & 1]
+    for qubit in zero_bits:
+        circuit.append(x(qubit))
+    if len(qubits) == 1:
+        circuit.append(z(qubits[0]))
+    else:
+        target = qubits[-1]
+        circuit.append(h(target))
+        circuit.append(mct(tuple(qubits[:-1]), target))
+        circuit.append(h(target))
+    for qubit in zero_bits:
+        circuit.append(x(qubit))
+
+
+def grover(n: int, marked: int, iterations: int | None = None) -> Circuit:
+    """Grover search for ``marked`` over an ``n``-qubit register.
+
+    Builds the canonical circuit: Hadamard preparation, then
+    ``iterations`` rounds of (phase oracle on ``marked``) followed by the
+    diffusion operator (phase flip on |0...0> conjugated by H^n).  The
+    default iteration count is ``floor(pi/4 * sqrt(2**n))`` (at least 1),
+    the optimum for a single marked item — rounding up overshoots the
+    rotation and *reduces* the success probability.
+
+    The multi-controlled gates are synthesis-level; run
+    :func:`~repro.circuits.decompose.synthesize_ft` before estimating.
+    """
+    require_positive_int(n, "n", CircuitError)
+    require_non_negative_int(marked, "marked", CircuitError)
+    if marked >= 1 << n:
+        raise CircuitError(f"marked state {marked} does not fit in {n} bits")
+    if iterations is None:
+        import math
+
+        iterations = max(1, math.floor(math.pi / 4 * math.sqrt(2**n)))
+    require_positive_int(iterations, "iterations", CircuitError)
+    circuit = Circuit(n, name=f"grover{n}")
+    qubits = list(range(n))
+    for qubit in qubits:
+        circuit.append(h(qubit))
+    for _ in range(iterations):
+        # Oracle: flip the phase of |marked>.
+        _phase_flip_on(circuit, marked, qubits)
+        # Diffusion: H^n . (phase flip on |0>) . H^n.
+        for qubit in qubits:
+            circuit.append(h(qubit))
+        _phase_flip_on(circuit, 0, qubits)
+        for qubit in qubits:
+            circuit.append(h(qubit))
+    return circuit

@@ -1,0 +1,258 @@
+"""The :class:`Circuit` container: an ordered gate list over named qubits.
+
+A circuit is the unit of exchange between every stage of the flow:
+
+* generators and parsers produce circuits of synthesis-level gates
+  (NOT/CNOT/Toffoli/Fredkin/MCT/MCF),
+* the FT synthesis stage (:mod:`repro.circuits.decompose`) lowers them to
+  the fault-tolerant set,
+* the QODG builder consumes FT circuits, and
+* both LEQA and the QSPR mapper consume the QODG.
+
+Gate order is significant: the paper assumes "the order of gates does not
+change after the synthesis step", and the QODG's data dependencies follow
+program order per qubit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .._validation import require_non_negative_int
+from ..exceptions import CircuitError
+from .gates import FT_KINDS, Gate, GateKind, ONE_QUBIT_FT_KINDS
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Aggregate statistics of a circuit.
+
+    Attributes
+    ----------
+    qubit_count:
+        Number of declared qubits (including idle ones).
+    gate_count:
+        Total number of gates.
+    counts_by_kind:
+        Mapping from :class:`GateKind` to occurrence count.
+    two_qubit_count:
+        Number of CNOT gates (the only two-qubit FT op).
+    is_ft:
+        Whether every gate belongs to the FT set.
+    """
+
+    qubit_count: int
+    gate_count: int
+    counts_by_kind: dict[GateKind, int]
+    two_qubit_count: int
+    is_ft: bool
+
+
+class Circuit:
+    """An ordered list of :class:`Gate` objects over a named qubit register.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits to pre-declare.  More can be added later with
+        :meth:`add_qubit` (used by the decomposer to allocate ancillas).
+    name:
+        Optional human-readable circuit name (benchmark id).
+    qubit_names:
+        Optional explicit names; defaults to ``q0, q1, ...``.  Length must
+        equal ``num_qubits``.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int = 0,
+        name: str = "circuit",
+        qubit_names: Sequence[str] | None = None,
+    ) -> None:
+        require_non_negative_int(num_qubits, "num_qubits", CircuitError)
+        self.name = str(name)
+        if qubit_names is not None:
+            qubit_names = [str(q) for q in qubit_names]
+            if len(qubit_names) != num_qubits:
+                raise CircuitError(
+                    f"qubit_names has {len(qubit_names)} entries but "
+                    f"num_qubits is {num_qubits}"
+                )
+            if len(set(qubit_names)) != len(qubit_names):
+                raise CircuitError("qubit names must be distinct")
+            self._qubit_names: list[str] = list(qubit_names)
+        else:
+            self._qubit_names = [f"q{i}" for i in range(num_qubits)]
+        self._index_by_name: dict[str, int] = {
+            qname: i for i, qname in enumerate(self._qubit_names)
+        }
+        self._gates: list[Gate] = []
+        self._gates_view: tuple[Gate, ...] | None = None
+
+    # -- qubit management ---------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of declared qubits."""
+        return len(self._qubit_names)
+
+    @property
+    def qubit_names(self) -> tuple[str, ...]:
+        """Tuple of qubit names in index order."""
+        return tuple(self._qubit_names)
+
+    def add_qubit(self, name: str | None = None) -> int:
+        """Declare a new qubit and return its index.
+
+        ``name`` defaults to ``q<index>``; ancilla allocators typically pass
+        explicit names such as ``anc17``.
+        """
+        index = len(self._qubit_names)
+        if name is None:
+            # Avoid collisions if explicit names like "q3" already exist.
+            suffix = index
+            name = f"q{suffix}"
+            while name in self._index_by_name:
+                suffix += 1
+                name = f"q{suffix}"
+        name = str(name)
+        if name in self._index_by_name:
+            raise CircuitError(f"duplicate qubit name {name!r}")
+        self._qubit_names.append(name)
+        self._index_by_name[name] = index
+        return index
+
+    def qubit_index(self, name: str) -> int:
+        """Return the index of the qubit named ``name``.
+
+        Raises
+        ------
+        CircuitError
+            If no such qubit exists.
+        """
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise CircuitError(f"unknown qubit name {name!r}") from None
+
+    def has_qubit(self, name: str) -> bool:
+        """Whether a qubit with this name exists."""
+        return name in self._index_by_name
+
+    # -- gate management ----------------------------------------------------
+
+    def append(self, gate: Gate) -> None:
+        """Append a gate, validating that its operands are declared qubits."""
+        top = self.num_qubits
+        for qubit in gate.iter_qubits():
+            if qubit >= top:
+                raise CircuitError(
+                    f"gate {gate} references qubit {qubit} but the circuit "
+                    f"has only {top} qubits"
+                )
+        self._gates.append(gate)
+        self._gates_view = None
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append every gate from ``gates`` in order."""
+        for gate in gates:
+            self.append(gate)
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple (cached between edits)."""
+        if self._gates_view is None or len(self._gates_view) != len(self._gates):
+            self._gates_view = tuple(self._gates)
+        return self._gates_view
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self._qubit_names == other._qubit_names
+            and self._gates == other._gates
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self._gates)})"
+        )
+
+    # -- analysis -----------------------------------------------------------
+
+    def stats(self) -> CircuitStats:
+        """Compute aggregate statistics (single pass over the gate list)."""
+        counts: Counter[GateKind] = Counter(g.kind for g in self._gates)
+        return CircuitStats(
+            qubit_count=self.num_qubits,
+            gate_count=len(self._gates),
+            counts_by_kind=dict(counts),
+            two_qubit_count=counts.get(GateKind.CNOT, 0),
+            is_ft=all(kind in FT_KINDS for kind in counts),
+        )
+
+    def is_ft(self) -> bool:
+        """Whether every gate belongs to the fault-tolerant gate set."""
+        return all(gate.kind in FT_KINDS for gate in self._gates)
+
+    def count_kind(self, kind: GateKind) -> int:
+        """Number of gates of the given kind."""
+        return sum(1 for gate in self._gates if gate.kind is kind)
+
+    def active_qubits(self) -> set[int]:
+        """Indices of qubits touched by at least one gate."""
+        active: set[int] = set()
+        for gate in self._gates:
+            active.update(gate.iter_qubits())
+        return active
+
+    def one_qubit_ft_histogram(self) -> dict[GateKind, int]:
+        """Counts of each one-qubit FT gate kind present in the circuit."""
+        counts: Counter[GateKind] = Counter()
+        for gate in self._gates:
+            if gate.kind in ONE_QUBIT_FT_KINDS:
+                counts[gate.kind] += 1
+        return dict(counts)
+
+    def copy(self, name: str | None = None) -> "Circuit":
+        """Return a shallow copy (gates are immutable so sharing is safe)."""
+        clone = Circuit(0, name or self.name)
+        clone._qubit_names = list(self._qubit_names)
+        clone._index_by_name = dict(self._index_by_name)
+        clone._gates = list(self._gates)
+        return clone
+
+    def reversed(self) -> "Circuit":
+        """Return the circuit with gate order reversed.
+
+        For the self-inverse synthesis gate set (NOT/CNOT/Toffoli/Fredkin/
+        SWAP) this is the functional inverse, which makes ``c + c.reversed()``
+        the identity — handy for building test fixtures.
+        """
+        clone = self.copy()
+        clone._gates = list(reversed(self._gates))
+        return clone
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        """Concatenate two circuits over an identical qubit register."""
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        if self._qubit_names != other._qubit_names:
+            raise CircuitError(
+                "can only concatenate circuits with identical qubit registers"
+            )
+        result = self.copy()
+        result._gates.extend(other._gates)
+        return result

@@ -1,0 +1,329 @@
+"""Gate model for reversible and fault-tolerant quantum circuits.
+
+The LEQA flow (paper section 2) involves two gate vocabularies:
+
+* the **logic synthesis output**: NOT, CNOT, Toffoli and Fredkin gates,
+  possibly with more than two controls (multi-controlled variants), and
+* the **fault-tolerant (FT) gate set** the fabric executes:
+  ``{CNOT, H, T, T†, S, S†, X, Y, Z}`` — all one- and two-qubit gates.
+
+Both vocabularies are represented by a single :class:`Gate` value type whose
+:class:`GateKind` tag tells them apart.  Qubits are referenced by integer
+index into the owning :class:`~repro.circuits.circuit.Circuit`'s qubit list;
+this keeps a one-million-gate netlist compact and hashable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from ..exceptions import CircuitError
+
+
+class GateKind(enum.Enum):
+    """Enumeration of every gate kind understood by the library.
+
+    The ``value`` strings double as the canonical lower-case mnemonic used
+    by the netlist writer and the CLI.
+    """
+
+    # One-qubit fault-tolerant gates.
+    X = "x"
+    Y = "y"
+    Z = "z"
+    H = "h"
+    S = "s"
+    SDG = "sdg"
+    T = "t"
+    TDG = "tdg"
+    # Two-qubit fault-tolerant gate (the only one, per the paper).
+    CNOT = "cnot"
+    # Reversible-logic gates that FT synthesis must decompose.
+    TOFFOLI = "toffoli"  # exactly 2 controls + 1 target
+    FREDKIN = "fredkin"  # exactly 1 control + 2 swap targets
+    MCT = "mct"  # multi-controlled Toffoli, >= 3 controls
+    MCF = "mcf"  # multi-controlled Fredkin, >= 2 controls
+    SWAP = "swap"  # unconditional swap of two qubits
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: One-qubit members of the fault-tolerant gate set.
+ONE_QUBIT_FT_KINDS: frozenset[GateKind] = frozenset(
+    {
+        GateKind.X,
+        GateKind.Y,
+        GateKind.Z,
+        GateKind.H,
+        GateKind.S,
+        GateKind.SDG,
+        GateKind.T,
+        GateKind.TDG,
+    }
+)
+
+#: The complete fault-tolerant gate set the fabric can execute natively
+#: (after FT synthesis every gate in a circuit belongs to this set).
+FT_KINDS: frozenset[GateKind] = ONE_QUBIT_FT_KINDS | {GateKind.CNOT}
+
+#: Gate kinds produced by reversible logic synthesis that the FT synthesis
+#: stage (:mod:`repro.circuits.decompose`) knows how to lower.
+SYNTHESIS_KINDS: frozenset[GateKind] = frozenset(
+    {
+        GateKind.X,
+        GateKind.CNOT,
+        GateKind.TOFFOLI,
+        GateKind.FREDKIN,
+        GateKind.MCT,
+        GateKind.MCF,
+        GateKind.SWAP,
+    }
+)
+
+#: Mapping from mnemonic string (e.g. ``"tdg"``) back to the enum member.
+KIND_BY_NAME: dict[str, GateKind] = {kind.value: kind for kind in GateKind}
+
+#: Aliases accepted by parsers in addition to the canonical mnemonics.
+KIND_ALIASES: dict[str, GateKind] = {
+    "not": GateKind.X,
+    "cx": GateKind.CNOT,
+    "ccx": GateKind.TOFFOLI,
+    "tof": GateKind.TOFFOLI,
+    "t+": GateKind.T,
+    "t-": GateKind.TDG,
+    "tdag": GateKind.TDG,
+    "s+": GateKind.S,
+    "s-": GateKind.SDG,
+    "sdag": GateKind.SDG,
+    "cswap": GateKind.FREDKIN,
+    "fre": GateKind.FREDKIN,
+}
+
+
+def kind_from_name(name: str) -> GateKind:
+    """Resolve a gate mnemonic (canonical or alias) to a :class:`GateKind`.
+
+    Raises
+    ------
+    CircuitError
+        If the mnemonic is unknown.
+    """
+    key = name.strip().lower()
+    kind = KIND_BY_NAME.get(key) or KIND_ALIASES.get(key)
+    if kind is None:
+        raise CircuitError(f"unknown gate mnemonic {name!r}")
+    return kind
+
+
+@dataclass(frozen=True, slots=True)
+class Gate:
+    """An immutable gate instance.
+
+    Parameters
+    ----------
+    kind:
+        The gate kind.
+    controls:
+        Indices of control qubits (empty for uncontrolled gates).
+    targets:
+        Indices of target qubits.  One for most gates, two for
+        FREDKIN/MCF/SWAP (the swapped pair).
+
+    The constructor validates arity: e.g. a CNOT must have exactly one
+    control and one target, a Toffoli exactly two controls, and control and
+    target sets must be disjoint.
+    """
+
+    kind: GateKind
+    controls: Tuple[int, ...] = field(default=())
+    targets: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        controls = tuple(self.controls)
+        targets = tuple(self.targets)
+        object.__setattr__(self, "controls", controls)
+        object.__setattr__(self, "targets", targets)
+        self._check_arity()
+        operands = controls + targets
+        if len(set(operands)) != len(operands):
+            raise CircuitError(
+                f"{self.kind.value} gate operands must be distinct, got "
+                f"controls={controls} targets={targets}"
+            )
+        for qubit in operands:
+            if isinstance(qubit, bool) or not isinstance(qubit, int) or qubit < 0:
+                raise CircuitError(
+                    f"qubit indices must be non-negative integers, got {qubit!r}"
+                )
+
+    def _check_arity(self) -> None:
+        kind = self.kind
+        n_ctrl, n_tgt = len(self.controls), len(self.targets)
+        if kind in ONE_QUBIT_FT_KINDS:
+            expected = (0, 1)
+        elif kind is GateKind.CNOT:
+            expected = (1, 1)
+        elif kind is GateKind.TOFFOLI:
+            expected = (2, 1)
+        elif kind is GateKind.FREDKIN:
+            expected = (1, 2)
+        elif kind is GateKind.SWAP:
+            expected = (0, 2)
+        elif kind is GateKind.MCT:
+            if n_ctrl < 3 or n_tgt != 1:
+                raise CircuitError(
+                    f"MCT requires >= 3 controls and 1 target, got "
+                    f"{n_ctrl} controls and {n_tgt} targets"
+                )
+            return
+        elif kind is GateKind.MCF:
+            if n_ctrl < 2 or n_tgt != 2:
+                raise CircuitError(
+                    f"MCF requires >= 2 controls and 2 targets, got "
+                    f"{n_ctrl} controls and {n_tgt} targets"
+                )
+            return
+        else:  # pragma: no cover - enum is closed
+            raise CircuitError(f"unhandled gate kind {kind!r}")
+        if (n_ctrl, n_tgt) != expected:
+            raise CircuitError(
+                f"{kind.value} requires {expected[0]} controls and "
+                f"{expected[1]} targets, got {n_ctrl} and {n_tgt}"
+            )
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """All qubit indices touched by the gate (controls then targets)."""
+        return self.controls + self.targets
+
+    @property
+    def arity(self) -> int:
+        """Number of distinct qubits the gate acts on."""
+        return len(self.controls) + len(self.targets)
+
+    @property
+    def is_ft(self) -> bool:
+        """Whether the gate belongs to the fault-tolerant gate set."""
+        return self.kind in FT_KINDS
+
+    @property
+    def is_two_qubit_ft(self) -> bool:
+        """Whether the gate is the (sole) two-qubit FT operation, CNOT."""
+        return self.kind is GateKind.CNOT
+
+    def iter_qubits(self) -> Iterator[int]:
+        """Iterate over all operand qubit indices."""
+        yield from self.controls
+        yield from self.targets
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy with qubit indices translated through ``mapping``.
+
+        Indices absent from ``mapping`` are kept unchanged.
+        """
+        return Gate(
+            self.kind,
+            tuple(mapping.get(q, q) for q in self.controls),
+            tuple(mapping.get(q, q) for q in self.targets),
+        )
+
+    def __str__(self) -> str:
+        operands = ", ".join(
+            [f"c{q}" for q in self.controls] + [f"q{q}" for q in self.targets]
+        )
+        return f"{self.kind.value}({operands})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors.  These read better at call sites than raw Gate()
+# invocations and are used pervasively by the generators and decomposer.
+# ---------------------------------------------------------------------------
+
+
+def x(target: int) -> Gate:
+    """Pauli-X (NOT) on ``target``."""
+    return Gate(GateKind.X, (), (target,))
+
+
+def y(target: int) -> Gate:
+    """Pauli-Y on ``target``."""
+    return Gate(GateKind.Y, (), (target,))
+
+
+def z(target: int) -> Gate:
+    """Pauli-Z on ``target``."""
+    return Gate(GateKind.Z, (), (target,))
+
+
+def h(target: int) -> Gate:
+    """Hadamard on ``target``."""
+    return Gate(GateKind.H, (), (target,))
+
+
+def s(target: int) -> Gate:
+    """Phase gate S on ``target``."""
+    return Gate(GateKind.S, (), (target,))
+
+
+def sdg(target: int) -> Gate:
+    """Inverse phase gate S† on ``target``."""
+    return Gate(GateKind.SDG, (), (target,))
+
+
+def t(target: int) -> Gate:
+    """T (pi/4 rotation) on ``target``."""
+    return Gate(GateKind.T, (), (target,))
+
+
+def tdg(target: int) -> Gate:
+    """T† (-pi/4 rotation) on ``target``."""
+    return Gate(GateKind.TDG, (), (target,))
+
+
+def cnot(control: int, target: int) -> Gate:
+    """CNOT with the given control and target."""
+    return Gate(GateKind.CNOT, (control,), (target,))
+
+
+def toffoli(control1: int, control2: int, target: int) -> Gate:
+    """3-input Toffoli (CCX)."""
+    return Gate(GateKind.TOFFOLI, (control1, control2), (target,))
+
+
+def fredkin(control: int, target1: int, target2: int) -> Gate:
+    """3-input Fredkin (controlled swap)."""
+    return Gate(GateKind.FREDKIN, (control,), (target1, target2))
+
+
+def swap(qubit1: int, qubit2: int) -> Gate:
+    """Unconditional swap."""
+    return Gate(GateKind.SWAP, (), (qubit1, qubit2))
+
+
+def mct(controls: tuple[int, ...] | list[int], target: int) -> Gate:
+    """Multi-controlled Toffoli.
+
+    With 0/1/2 controls this degrades gracefully to X/CNOT/TOFFOLI so
+    generators can emit ``mct(ctrls, t)`` uniformly.
+    """
+    controls = tuple(controls)
+    if len(controls) == 0:
+        return x(target)
+    if len(controls) == 1:
+        return cnot(controls[0], target)
+    if len(controls) == 2:
+        return toffoli(controls[0], controls[1], target)
+    return Gate(GateKind.MCT, controls, (target,))
+
+
+def mcf(controls: tuple[int, ...] | list[int], target1: int, target2: int) -> Gate:
+    """Multi-controlled Fredkin, degrading to FREDKIN/SWAP for few controls."""
+    controls = tuple(controls)
+    if len(controls) == 0:
+        return swap(target1, target2)
+    if len(controls) == 1:
+        return fredkin(controls[0], target1, target2)
+    return Gate(GateKind.MCF, controls, (target1, target2))

@@ -1,0 +1,395 @@
+"""Parameterized generators for the paper's benchmark circuit families.
+
+The paper evaluates on Maslov's reversible benchmark suite (its ref [12]),
+which is not redistributable here.  These generators reproduce the same
+circuit *families* algorithmically at the same parameter points:
+
+* :func:`ripple_adder` — VBE-style ripple-carry adder modulo ``2**n``
+  ("8bitadder", "mod1048576adder").
+* :func:`gf2_multiplier` — Mastrovito GF(2^n) field multiplier
+  ("gf2^16mult" ... "gf2^256mult").
+* :func:`hwb` — hidden-weighted-bit function: rotate the input left by its
+  Hamming weight ("hwb15ps" ... "hwb200ps").  Built as weight-counter +
+  controlled rotations + counter uncompute; functionally exact.
+* :func:`hamming_coder` — Hamming-code encoder + single-error corrector
+  ("ham15" family).
+* :func:`ham3` — the 19-FT-gate ham3 circuit of the paper's Figure 2.
+* :func:`random_reversible`, :func:`cnot_ladder` — structured and random
+  circuits for tests and sweeps.
+
+Every generator returns synthesis-level gates (NOT/CNOT/Toffoli/Fredkin/
+MCT/MCF); run them through :func:`repro.circuits.decompose.synthesize_ft`
+to obtain the FT netlists the estimator and mapper consume.  All generators
+are deterministic given their arguments (and ``seed`` where applicable), and
+all are functionally verified by the test suite via basis-state simulation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from .._validation import require_positive_int
+from ..exceptions import CircuitError
+from .circuit import Circuit
+from .decompose import toffoli_to_ft_gates
+from .gates import cnot, fredkin, mct, toffoli, x
+from .gf2 import find_irreducible, poly_degree, reduction_table
+
+__all__ = [
+    "ripple_adder",
+    "modular_adder",
+    "gf2_multiplier",
+    "hwb",
+    "hamming_coder",
+    "ham3",
+    "random_reversible",
+    "cnot_ladder",
+    "controlled_increment_gates",
+    "controlled_rotation_gates",
+]
+
+
+# ---------------------------------------------------------------------------
+# Adders
+# ---------------------------------------------------------------------------
+
+
+def _carry_gates(c_in: int, a: int, b: int, c_out: int) -> list:
+    """VBE CARRY block: (b, c_out) <- (a XOR b, carry(a, b, c_in))."""
+    return [toffoli(a, b, c_out), cnot(a, b), toffoli(c_in, b, c_out)]
+
+
+def _carry_inverse_gates(c_in: int, a: int, b: int, c_out: int) -> list:
+    """Inverse of :func:`_carry_gates`."""
+    return [toffoli(c_in, b, c_out), cnot(a, b), toffoli(a, b, c_out)]
+
+
+def ripple_adder(n: int) -> Circuit:
+    """VBE ripple-carry adder modulo ``2**n`` over ``3n`` qubits.
+
+    Register layout (all little-endian):
+
+    * ``c0 .. c{n-1}`` — carry chain, must start at |0> (``c0`` is the
+      carry-in and is restored to 0);
+    * ``a0 .. a{n-1}`` — first addend, preserved;
+    * ``b0 .. b{n-1}`` — second addend, replaced by ``(a + b) mod 2**n``.
+
+    The 8-bit instance has 24 qubits, matching the paper's "8bitadder" row.
+    """
+    require_positive_int(n, "n", CircuitError)
+    names = (
+        [f"c{i}" for i in range(n)]
+        + [f"a{i}" for i in range(n)]
+        + [f"b{i}" for i in range(n)]
+    )
+    circuit = Circuit(3 * n, name=f"{n}bitadder", qubit_names=names)
+    c = list(range(n))
+    a = list(range(n, 2 * n))
+    b = list(range(2 * n, 3 * n))
+    if n == 1:
+        circuit.extend([cnot(a[0], b[0]), cnot(c[0], b[0])])
+        return circuit
+    # Forward carry cascade (bits 0 .. n-2 feed carries 1 .. n-1).
+    for i in range(n - 1):
+        circuit.extend(_carry_gates(c[i], a[i], b[i], c[i + 1]))
+    # Top bit: sum only; the carry out of bit n-1 is dropped (mod 2**n).
+    circuit.append(cnot(a[n - 1], b[n - 1]))
+    circuit.append(cnot(c[n - 1], b[n - 1]))
+    # Downward sweep: undo carries, emit sums.
+    for i in range(n - 2, -1, -1):
+        circuit.extend(_carry_inverse_gates(c[i], a[i], b[i], c[i + 1]))
+        circuit.append(cnot(a[i], b[i]))
+        circuit.append(cnot(c[i], b[i]))
+    return circuit
+
+
+def modular_adder(n: int, modulus: int | None = None) -> Circuit:
+    """Adder modulo ``2**n`` (the family of the "mod1048576adder" row).
+
+    The paper's benchmark adds modulo ``1048576 = 2**20``; for a power-of-
+    two modulus the VBE ripple adder mod ``2**n`` *is* the modular adder,
+    so this simply re-labels :func:`ripple_adder`.  General moduli are not
+    needed by any experiment and are rejected explicitly.
+    """
+    require_positive_int(n, "n", CircuitError)
+    if modulus is not None and modulus != 1 << n:
+        raise CircuitError(
+            f"only power-of-two moduli are supported; got {modulus} "
+            f"with n={n} (expected {1 << n})"
+        )
+    circuit = ripple_adder(n)
+    circuit.name = f"mod{1 << n}adder"
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# GF(2^n) multiplier
+# ---------------------------------------------------------------------------
+
+
+def gf2_multiplier(n: int, modulus: int | None = None) -> Circuit:
+    """Mastrovito multiplier over GF(2^n): ``c ^= a * b`` in the field.
+
+    Register layout: ``a0..a{n-1}``, ``b0..b{n-1}`` (both preserved) and
+    ``c0..c{n-1}`` (accumulator).  For each partial product ``a_i * b_j``
+    a Toffoli targets every output coefficient in the modular reduction of
+    ``x**(i+j)``; the default field polynomial is the lowest-weight
+    irreducible of degree ``n`` (see :mod:`repro.circuits.gf2`).
+
+    The qubit count is ``3n``, matching the paper's gf2 rows (e.g.
+    "gf2^16mult" with 48 qubits).
+    """
+    require_positive_int(n, "n", CircuitError)
+    if modulus is None:
+        modulus = find_irreducible(n)
+    elif poly_degree(modulus) != n:
+        raise CircuitError(
+            f"modulus degree {poly_degree(modulus)} does not match n={n}"
+        )
+    table = reduction_table(n, modulus)
+    names = (
+        [f"a{i}" for i in range(n)]
+        + [f"b{i}" for i in range(n)]
+        + [f"c{i}" for i in range(n)]
+    )
+    circuit = Circuit(3 * n, name=f"gf2^{n}mult", qubit_names=names)
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+    c = list(range(2 * n, 3 * n))
+    for i in range(n):
+        for j in range(n):
+            reduction = table[i + j]
+            for m in range(n):
+                if (reduction >> m) & 1:
+                    circuit.append(toffoli(a[i], b[j], c[m]))
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Hidden-weighted-bit (hwb)
+# ---------------------------------------------------------------------------
+
+
+def controlled_increment_gates(
+    control: int, counter: Sequence[int]
+) -> list:
+    """Gates incrementing the ``counter`` register (mod ``2**m``) when
+    ``control`` is 1.
+
+    Ripple construction: the highest counter bit flips when the control and
+    every lower bit are 1, descending to a plain CNOT on the lowest bit.
+    Bit ``j`` needs an MCT with ``j + 1`` controls.
+    """
+    gates = []
+    counter = list(counter)
+    for j in range(len(counter) - 1, 0, -1):
+        gates.append(mct((control, *counter[:j]), counter[j]))
+    gates.append(cnot(control, counter[0]))
+    return gates
+
+
+def _reversal_swaps(positions: Sequence[int]) -> list[tuple[int, int]]:
+    """Pairs to swap to reverse the given position list in place."""
+    pairs = []
+    lo, hi = 0, len(positions) - 1
+    while lo < hi:
+        pairs.append((positions[lo], positions[hi]))
+        lo += 1
+        hi -= 1
+    return pairs
+
+
+def controlled_rotation_gates(
+    control: int, data: Sequence[int], amount: int
+) -> list:
+    """Fredkin network rotating ``data`` left by ``amount`` when ``control``
+    is 1.
+
+    Left rotation by ``k``: element at index ``(i + k) mod n`` moves to
+    index ``i``.  Implemented with the three-reversal identity
+    ``rot_k = reverse(all) . reverse(k..n-1) . reverse(0..k-1)``, giving
+    roughly ``1.5 n`` controlled swaps per stage.
+    """
+    data = list(data)
+    n = len(data)
+    amount %= n
+    if amount == 0:
+        return []
+    pairs = (
+        _reversal_swaps(data[:amount])
+        + _reversal_swaps(data[amount:])
+        + _reversal_swaps(data)
+    )
+    return [fredkin(control, qa, qb) for qa, qb in pairs]
+
+
+def hwb(n: int) -> Circuit:
+    """Hidden-weighted-bit circuit: rotate input left by its Hamming weight.
+
+    Matches the semantics of the classical hwb benchmark function
+    ``y = x rotated left by weight(x)`` (rotation taken mod ``n``), the
+    family behind the paper's "hwb15ps" ... "hwb200ps" rows.
+
+    Construction (functionally exact, ancillas restored to |0>):
+
+    1. count the weight of the data register into an ``m``-bit counter
+       (``m = ceil(log2(n + 1))``) with controlled increments,
+    2. for each counter bit ``j``, rotate the data left by ``2**j mod n``
+       under control of that bit,
+    3. uncompute the counter from the *rotated* data — valid because
+       rotation preserves Hamming weight.
+    """
+    require_positive_int(n, "n", CircuitError)
+    if n < 2:
+        raise CircuitError("hwb requires n >= 2")
+    m = max(1, math.ceil(math.log2(n + 1)))
+    names = [f"x{i}" for i in range(n)] + [f"w{j}" for j in range(m)]
+    circuit = Circuit(n + m, name=f"hwb{n}", qubit_names=names)
+    data = list(range(n))
+    counter = list(range(n, n + m))
+    for qubit in data:
+        circuit.extend(controlled_increment_gates(qubit, counter))
+    for j in range(m):
+        circuit.extend(
+            controlled_rotation_gates(counter[j], data, pow(2, j, n))
+        )
+    for qubit in data:
+        # Inverse of the controlled increment: reversed gate order (every
+        # gate is self-inverse).
+        gates = controlled_increment_gates(qubit, counter)
+        circuit.extend(reversed(gates))
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Hamming coding circuits
+# ---------------------------------------------------------------------------
+
+
+def hamming_coder(r: int, error_position: int | None = None) -> Circuit:
+    """Hamming(2^r - 1) encoder + single-error corrector.
+
+    Register layout: ``x1 .. x{n}`` are the codeword positions (1-based,
+    as in Hamming's scheme, ``n = 2**r - 1``) and ``s0 .. s{r-1}`` the
+    syndrome register (starts at |0>).
+
+    Stage 1 (encode): each parity position ``2**j`` accumulates, via CNOTs,
+    the parity of all non-parity positions containing bit ``j``.
+
+    Stage 2 (channel): when ``error_position`` is given, an X gate flips
+    that codeword position — a deterministic single-bit channel error the
+    corrector must undo (exercised by the test suite; ``None``, the
+    default, models a clean channel).
+
+    Stage 3 (syndrome): each syndrome bit ``s_j`` accumulates the parity of
+    all positions containing bit ``j``.
+
+    Stage 4 (correct): for each position ``p``, an MCT controlled on the
+    syndrome pattern equal to ``p`` (zero bits conjugated with X) flips
+    position ``p``.  The syndrome register is left holding the error
+    location — the decoder's classical output — so the circuit is
+    reversible without further uncomputation.
+
+    The ``r = 4`` instance is the family of the paper's "ham15" row.
+    """
+    require_positive_int(r, "r", CircuitError)
+    if r < 2:
+        raise CircuitError("hamming_coder requires r >= 2")
+    n = (1 << r) - 1
+    if error_position is not None and not 1 <= error_position <= n:
+        raise CircuitError(
+            f"error_position must be in 1..{n}, got {error_position}"
+        )
+    names = [f"x{p}" for p in range(1, n + 1)] + [f"s{j}" for j in range(r)]
+    circuit = Circuit(n + r, name=f"ham{n}", qubit_names=names)
+
+    def pos(p: int) -> int:
+        return p - 1
+
+    syndrome = [n + j for j in range(r)]
+    parity_positions = [1 << j for j in range(r)]
+    # Encode: parity position 2**j <- parity of covered data positions.
+    for j, parity_pos in enumerate(parity_positions):
+        for p in range(1, n + 1):
+            if p != parity_pos and (p >> j) & 1:
+                circuit.append(cnot(pos(p), pos(parity_pos)))
+    # Channel: optional deterministic single-bit error.
+    if error_position is not None:
+        circuit.append(x(pos(error_position)))
+    # Syndrome: s_j <- parity over *all* positions with bit j set.
+    for j in range(r):
+        for p in range(1, n + 1):
+            if (p >> j) & 1:
+                circuit.append(cnot(pos(p), syndrome[j]))
+    # Correct: flip position p when the syndrome equals p.
+    for p in range(1, n + 1):
+        zero_bits = [syndrome[j] for j in range(r) if not (p >> j) & 1]
+        for q in zero_bits:
+            circuit.append(x(q))
+        circuit.append(mct(tuple(syndrome), pos(p)))
+        for q in zero_bits:
+            circuit.append(x(q))
+    return circuit
+
+
+def ham3() -> Circuit:
+    """The ham3 FT circuit of the paper's Figure 2: 19 FT gates, 3 qubits.
+
+    One 3-input Toffoli expanded into its 15-gate FT realization followed
+    by four CNOTs, yielding the 19-operation QODG drawn in Figure 2(b).
+    """
+    circuit = Circuit(3, name="ham3", qubit_names=["a", "b", "c"])
+    circuit.extend(toffoli_to_ft_gates(0, 1, 2))
+    circuit.extend([cnot(1, 2), cnot(0, 1), cnot(2, 0), cnot(1, 2)])
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Synthetic circuits for tests and sweeps
+# ---------------------------------------------------------------------------
+
+
+def random_reversible(
+    n: int, gate_count: int, seed: int, toffoli_fraction: float = 0.3
+) -> Circuit:
+    """Random NCT (NOT/CNOT/Toffoli) circuit; deterministic given ``seed``.
+
+    ``toffoli_fraction`` of the gates are Toffolis, the rest split evenly
+    between CNOT and NOT.  Useful for property tests and runtime sweeps
+    where only graph structure matters.
+    """
+    require_positive_int(n, "n", CircuitError)
+    if n < 3:
+        raise CircuitError("random_reversible requires n >= 3")
+    rng = random.Random(seed)
+    circuit = Circuit(n, name=f"random{n}x{gate_count}")
+    for _ in range(gate_count):
+        roll = rng.random()
+        if roll < toffoli_fraction:
+            c1, c2, tgt = rng.sample(range(n), 3)
+            circuit.append(toffoli(c1, c2, tgt))
+        elif roll < toffoli_fraction + (1 - toffoli_fraction) / 2:
+            c1, tgt = rng.sample(range(n), 2)
+            circuit.append(cnot(c1, tgt))
+        else:
+            circuit.append(x(rng.randrange(n)))
+    return circuit
+
+
+def cnot_ladder(n: int, layers: int = 1) -> Circuit:
+    """``layers`` sweeps of nearest-neighbour CNOTs down a line of qubits.
+
+    A minimal structured circuit whose QODG critical path is known in
+    closed form, used as a test fixture.
+    """
+    require_positive_int(n, "n", CircuitError)
+    require_positive_int(layers, "layers", CircuitError)
+    if n < 2:
+        raise CircuitError("cnot_ladder requires n >= 2")
+    circuit = Circuit(n, name=f"ladder{n}x{layers}")
+    for _ in range(layers):
+        for i in range(n - 1):
+            circuit.append(cnot(i, i + 1))
+    return circuit

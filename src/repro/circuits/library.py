@@ -1,0 +1,157 @@
+"""Named benchmark registry mirroring the paper's Tables 2 and 3.
+
+Each entry maps a benchmark id (exactly the names printed in the paper's
+tables, e.g. ``"gf2^16mult"`` or ``"hwb15ps"``) to a generator producing
+the synthesis-level circuit of that family at that parameter point.  Call
+:func:`build` to obtain the raw circuit, or :func:`build_ft` to get the
+fault-tolerant netlist after the paper's decomposition flow.
+
+Circuit *counts* (qubits/operations) will differ from the paper's Table 3
+because the original Maslov netlists are not available — see DESIGN.md,
+"Substitutions".  The families, parameter points and relative sizes match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import CircuitError
+from .circuit import Circuit
+from .decompose import synthesize_ft
+from .generators import (
+    gf2_multiplier,
+    ham3,
+    hamming_coder,
+    hwb,
+    modular_adder,
+    ripple_adder,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "PAPER_TABLE3_ORDER",
+    "benchmark_names",
+    "build",
+    "build_ft",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Registry entry for one named benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark id as printed in the paper.
+    family:
+        Family tag (``adder``, ``gf2``, ``hwb``, ``ham``, ``modadder``).
+    builder:
+        Zero-argument callable returning the synthesis-level circuit.
+    paper_qubits / paper_ops:
+        Qubit and operation counts reported in the paper's Table 3 (for
+        side-by-side reporting; ``None`` for circuits not in Table 3).
+    """
+
+    name: str
+    family: str
+    builder: Callable[[], Circuit]
+    paper_qubits: int | None = None
+    paper_ops: int | None = None
+
+
+def _spec(
+    name: str,
+    family: str,
+    builder: Callable[[], Circuit],
+    paper_qubits: int | None = None,
+    paper_ops: int | None = None,
+) -> tuple[str, BenchmarkSpec]:
+    return name, BenchmarkSpec(name, family, builder, paper_qubits, paper_ops)
+
+
+#: All registered benchmarks, keyed by paper name.
+BENCHMARKS: dict[str, BenchmarkSpec] = dict(
+    [
+        _spec("ham3", "ham", ham3),
+        _spec("8bitadder", "adder", lambda: ripple_adder(8), 24, 822),
+        _spec("gf2^16mult", "gf2", lambda: gf2_multiplier(16), 48, 3885),
+        _spec("hwb15ps", "hwb", lambda: hwb(15), 47, 3885),
+        _spec("hwb16ps", "hwb", lambda: hwb(16), 55, 3811),
+        _spec("gf2^18mult", "gf2", lambda: gf2_multiplier(18), 54, 4911),
+        _spec("gf2^19mult", "gf2", lambda: gf2_multiplier(19), 57, 5469),
+        _spec("gf2^20mult", "gf2", lambda: gf2_multiplier(20), 60, 6019),
+        _spec("ham15", "ham", lambda: hamming_coder(4), 146, 5308),
+        _spec("hwb20ps", "hwb", lambda: hwb(20), 83, 6395),
+        _spec("hwb50ps", "hwb", lambda: hwb(50), 370, 25370),
+        _spec("gf2^50mult", "gf2", lambda: gf2_multiplier(50), 150, 37647),
+        _spec(
+            "mod1048576adder",
+            "modadder",
+            lambda: modular_adder(20),
+            1180,
+            37070,
+        ),
+        _spec("gf2^64mult", "gf2", lambda: gf2_multiplier(64), 192, 61629),
+        _spec("hwb100ps", "hwb", lambda: hwb(100), 1106, 67735),
+        _spec("gf2^100mult", "gf2", lambda: gf2_multiplier(100), 300, 150297),
+        _spec("hwb200ps", "hwb", lambda: hwb(200), 3145, 175490),
+        _spec("gf2^128mult", "gf2", lambda: gf2_multiplier(128), 384, 246141),
+        _spec("gf2^256mult", "gf2", lambda: gf2_multiplier(256), 768, 983805),
+    ]
+)
+
+#: Benchmark ids in the row order of the paper's Table 3 (sorted by the
+#: paper's operation count).
+PAPER_TABLE3_ORDER: tuple[str, ...] = (
+    "8bitadder",
+    "gf2^16mult",
+    "hwb15ps",
+    "hwb16ps",
+    "gf2^18mult",
+    "gf2^19mult",
+    "gf2^20mult",
+    "ham15",
+    "hwb20ps",
+    "hwb50ps",
+    "gf2^50mult",
+    "mod1048576adder",
+    "gf2^64mult",
+    "hwb100ps",
+    "gf2^100mult",
+    "hwb200ps",
+    "gf2^128mult",
+    "gf2^256mult",
+)
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """All registered benchmark ids."""
+    return tuple(BENCHMARKS)
+
+
+def build(name: str) -> Circuit:
+    """Build the synthesis-level circuit for a named benchmark.
+
+    Raises
+    ------
+    CircuitError
+        If the name is not registered.
+    """
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise CircuitError(
+            f"unknown benchmark {name!r}; known benchmarks: {known}"
+        ) from None
+    circuit = spec.builder()
+    circuit.name = name
+    return circuit
+
+
+def build_ft(name: str, share_ancillas: bool = False) -> Circuit:
+    """Build the FT netlist: :func:`build` + the paper's decomposition flow."""
+    return synthesize_ft(build(name), share_ancillas=share_ancillas)

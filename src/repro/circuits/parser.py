@@ -1,0 +1,314 @@
+"""Netlist readers and writers.
+
+Two textual formats are supported:
+
+* **RevLib ``.real``** (subset) — the format of the Maslov reversible
+  benchmark suite the paper draws its circuits from.  Gate lines use the
+  ``t<n>``/``f<n>`` convention: ``t3 a b c`` is a Toffoli with controls
+  ``a b`` and target ``c``; ``f3 a b c`` is a Fredkin with control ``a``
+  swapping ``b c``.  Headers ``.numvars``, ``.variables``, ``.begin`` and
+  ``.end`` are honoured; ``.inputs``/``.outputs``/``.constants``/
+  ``.garbage``/``.version`` are accepted and ignored (they do not affect
+  latency estimation).
+
+* **qasm-lite** — a minimal line-oriented format used by this library's
+  own tooling: ``qubits N`` or ``qubit <name>`` declarations followed by
+  one gate per line, e.g. ``cnot q0 q1`` or ``tdg q3``.  Operand order is
+  controls first, then targets.
+
+Both readers are strict: malformed lines raise :class:`ParseError` with a
+line number.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from ..exceptions import CircuitError, ParseError
+from .circuit import Circuit
+from .gates import (
+    Gate,
+    GateKind,
+    kind_from_name,
+    mcf,
+    mct,
+)
+
+__all__ = [
+    "read_real",
+    "reads_real",
+    "write_real",
+    "writes_real",
+    "read_qasm_lite",
+    "reads_qasm_lite",
+    "write_qasm_lite",
+    "writes_qasm_lite",
+]
+
+
+# ---------------------------------------------------------------------------
+# RevLib .real
+# ---------------------------------------------------------------------------
+
+
+def reads_real(text: str, name: str = "circuit") -> Circuit:
+    """Parse RevLib ``.real`` content from a string."""
+    return read_real(io.StringIO(text), name=name)
+
+
+def read_real(source: TextIO | str | Path, name: str | None = None) -> Circuit:
+    """Parse a RevLib ``.real`` netlist.
+
+    Parameters
+    ----------
+    source:
+        A file path or an open text stream.
+    name:
+        Circuit name; defaults to the file stem when a path is given.
+
+    Returns
+    -------
+    Circuit
+        Circuit over the declared variables, containing X/CNOT/TOFFOLI/
+        FREDKIN/MCT/MCF gates.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", encoding="utf-8") as stream:
+            return read_real(stream, name=name or path.stem)
+    circuit: Circuit | None = None
+    declared_numvars: int | None = None
+    variables: list[str] | None = None
+    in_body = False
+    ended = False
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ended:
+            raise ParseError("content after .end", line_number)
+        lowered = line.lower()
+        if lowered.startswith("."):
+            tokens = line.split()
+            directive = tokens[0].lower()
+            if directive == ".numvars":
+                if len(tokens) != 2:
+                    raise ParseError(".numvars expects one argument", line_number)
+                try:
+                    declared_numvars = int(tokens[1])
+                except ValueError:
+                    raise ParseError(
+                        f"invalid .numvars value {tokens[1]!r}", line_number
+                    ) from None
+                if declared_numvars <= 0:
+                    raise ParseError(".numvars must be positive", line_number)
+            elif directive == ".variables":
+                variables = tokens[1:]
+                if not variables:
+                    raise ParseError(".variables expects qubit names", line_number)
+            elif directive == ".begin":
+                if declared_numvars is None and variables is None:
+                    raise ParseError(
+                        ".begin before .numvars/.variables", line_number
+                    )
+                if variables is None:
+                    variables = [f"x{i}" for i in range(declared_numvars or 0)]
+                if declared_numvars is not None and len(variables) != declared_numvars:
+                    raise ParseError(
+                        f".numvars is {declared_numvars} but .variables lists "
+                        f"{len(variables)} names",
+                        line_number,
+                    )
+                try:
+                    circuit = Circuit(len(variables), qubit_names=variables)
+                except CircuitError as error:
+                    raise ParseError(str(error), line_number) from None
+                in_body = True
+            elif directive == ".end":
+                if not in_body:
+                    raise ParseError(".end before .begin", line_number)
+                ended = True
+            elif directive in (
+                ".version",
+                ".inputs",
+                ".outputs",
+                ".constants",
+                ".garbage",
+                ".inputbus",
+                ".outputbus",
+                ".define",
+                ".module",
+            ):
+                continue  # metadata irrelevant to latency estimation
+            else:
+                raise ParseError(f"unknown directive {directive!r}", line_number)
+            continue
+        if not in_body:
+            raise ParseError(f"gate line {line!r} before .begin", line_number)
+        assert circuit is not None
+        circuit.append(_parse_real_gate(line, circuit, line_number))
+    if circuit is None:
+        raise ParseError("no .begin section found")
+    if in_body and not ended:
+        raise ParseError("missing .end")
+    circuit.name = name or "circuit"
+    return circuit
+
+
+def _parse_real_gate(line: str, circuit: Circuit, line_number: int) -> Gate:
+    """Parse one RevLib gate line (``t<n>``/``f<n>`` conventions)."""
+    tokens = line.split()
+    mnemonic = tokens[0].lower()
+    operand_names = tokens[1:]
+    try:
+        operands = [circuit.qubit_index(qname) for qname in operand_names]
+    except CircuitError as error:
+        raise ParseError(str(error), line_number) from None
+    try:
+        if mnemonic.startswith("t") and mnemonic[1:].isdigit():
+            size = int(mnemonic[1:])
+            if size < 1 or len(operands) != size:
+                raise ParseError(
+                    f"{mnemonic} expects {mnemonic[1:]} operands, got "
+                    f"{len(operands)}",
+                    line_number,
+                )
+            return mct(tuple(operands[:-1]), operands[-1])
+        if mnemonic.startswith("f") and mnemonic[1:].isdigit():
+            size = int(mnemonic[1:])
+            if size < 2 or len(operands) != size:
+                raise ParseError(
+                    f"{mnemonic} expects {mnemonic[1:]} operands, got "
+                    f"{len(operands)}",
+                    line_number,
+                )
+            return mcf(tuple(operands[:-2]), operands[-2], operands[-1])
+        raise ParseError(f"unknown gate mnemonic {mnemonic!r}", line_number)
+    except CircuitError as error:
+        raise ParseError(str(error), line_number) from None
+
+
+def writes_real(circuit: Circuit) -> str:
+    """Serialize a circuit to RevLib ``.real`` text."""
+    stream = io.StringIO()
+    write_real(circuit, stream)
+    return stream.getvalue()
+
+
+def write_real(circuit: Circuit, destination: TextIO | str | Path) -> None:
+    """Write a circuit as a RevLib ``.real`` netlist.
+
+    Only gate kinds expressible in the format (X/CNOT/TOFFOLI/FREDKIN/
+    MCT/MCF) are supported; others raise :class:`CircuitError`.
+    """
+    if isinstance(destination, (str, Path)):
+        with Path(destination).open("w", encoding="utf-8") as stream:
+            write_real(circuit, stream)
+        return
+    names = circuit.qubit_names
+    destination.write("# generated by repro (LEQA reproduction)\n")
+    destination.write(".version 2.0\n")
+    destination.write(f".numvars {circuit.num_qubits}\n")
+    destination.write(".variables " + " ".join(names) + "\n")
+    destination.write(".begin\n")
+    for gate in circuit:
+        operand_names = [names[q] for q in gate.qubits]
+        if gate.kind in (GateKind.X, GateKind.CNOT, GateKind.TOFFOLI, GateKind.MCT):
+            destination.write(f"t{gate.arity} " + " ".join(operand_names) + "\n")
+        elif gate.kind in (GateKind.FREDKIN, GateKind.MCF):
+            destination.write(f"f{gate.arity} " + " ".join(operand_names) + "\n")
+        else:
+            raise CircuitError(
+                f"gate kind {gate.kind.value!r} is not representable in .real"
+            )
+    destination.write(".end\n")
+
+
+# ---------------------------------------------------------------------------
+# qasm-lite
+# ---------------------------------------------------------------------------
+
+
+def reads_qasm_lite(text: str, name: str = "circuit") -> Circuit:
+    """Parse qasm-lite content from a string."""
+    return read_qasm_lite(io.StringIO(text), name=name)
+
+
+def read_qasm_lite(
+    source: TextIO | str | Path, name: str | None = None
+) -> Circuit:
+    """Parse a qasm-lite netlist (this library's own simple format)."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", encoding="utf-8") as stream:
+            return read_qasm_lite(stream, name=name or path.stem)
+    circuit = Circuit(0, name or "circuit")
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        mnemonic = tokens[0].lower()
+        if mnemonic == "qubits":
+            if len(tokens) != 2 or not tokens[1].isdigit():
+                raise ParseError("qubits expects a count", line_number)
+            for _ in range(int(tokens[1])):
+                circuit.add_qubit()
+            continue
+        if mnemonic == "qubit":
+            if len(tokens) != 2:
+                raise ParseError("qubit expects one name", line_number)
+            try:
+                circuit.add_qubit(tokens[1])
+            except CircuitError as error:
+                raise ParseError(str(error), line_number) from None
+            continue
+        try:
+            kind = kind_from_name(mnemonic)
+            operands = [circuit.qubit_index(qname) for qname in tokens[1:]]
+            circuit.append(_gate_from_operands(kind, operands))
+        except CircuitError as error:
+            raise ParseError(str(error), line_number) from None
+    return circuit
+
+
+def _gate_from_operands(kind: GateKind, operands: list[int]) -> Gate:
+    """Build a gate from a flat operand list using the kind's arity rules."""
+    if kind is GateKind.CNOT:
+        return Gate(kind, tuple(operands[:1]), tuple(operands[1:]))
+    if kind is GateKind.TOFFOLI:
+        return Gate(kind, tuple(operands[:2]), tuple(operands[2:]))
+    if kind is GateKind.FREDKIN:
+        return Gate(kind, tuple(operands[:1]), tuple(operands[1:]))
+    if kind is GateKind.SWAP:
+        return Gate(kind, (), tuple(operands))
+    if kind is GateKind.MCT:
+        return mct(tuple(operands[:-1]), operands[-1])
+    if kind is GateKind.MCF:
+        return mcf(tuple(operands[:-2]), operands[-2], operands[-1])
+    # One-qubit FT gates.
+    return Gate(kind, (), tuple(operands))
+
+
+def writes_qasm_lite(circuit: Circuit) -> str:
+    """Serialize a circuit to qasm-lite text."""
+    stream = io.StringIO()
+    write_qasm_lite(circuit, stream)
+    return stream.getvalue()
+
+
+def write_qasm_lite(circuit: Circuit, destination: TextIO | str | Path) -> None:
+    """Write a circuit in qasm-lite format (all gate kinds supported)."""
+    if isinstance(destination, (str, Path)):
+        with Path(destination).open("w", encoding="utf-8") as stream:
+            write_qasm_lite(circuit, stream)
+        return
+    destination.write(f"# circuit {circuit.name}\n")
+    names = circuit.qubit_names
+    for qname in names:
+        destination.write(f"qubit {qname}\n")
+    for gate in circuit:
+        operand_names = " ".join(names[q] for q in gate.qubits)
+        destination.write(f"{gate.kind.value} {operand_names}\n")

@@ -1,0 +1,195 @@
+"""Reference simulators used to validate circuits in the test suite.
+
+Two complementary simulators:
+
+* :func:`simulate_basis` — classical simulation of *reversible-logic*
+  circuits (X/CNOT/Toffoli/Fredkin/MCT/MCF/SWAP) on computational basis
+  states.  This runs in O(gates) and scales to any qubit count, which lets
+  the test suite verify that e.g. the ripple adder really adds and the
+  multi-controlled expansion preserves functionality.
+
+* :func:`circuit_unitary` — dense unitary construction with numpy for
+  circuits of at most a dozen qubits.  This is the only way to validate the
+  non-classical FT realization of the Toffoli gate (H/T gates have no
+  classical action), by comparing the 8x8 matrix of the 15-gate network
+  against the ideal Toffoli matrix.
+
+Neither simulator is used by LEQA or QSPR themselves — latency estimation
+never executes the quantum program — but shipping them makes the generators
+and the decomposer independently verifiable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from .circuit import Circuit
+from .gates import Gate, GateKind
+
+__all__ = [
+    "CLASSICAL_KINDS",
+    "apply_gate_to_bits",
+    "simulate_basis",
+    "simulate_int",
+    "gate_unitary",
+    "circuit_unitary",
+    "TOFFOLI_MATRIX",
+]
+
+#: Gate kinds with a purely classical action on basis states.
+CLASSICAL_KINDS: frozenset[GateKind] = frozenset(
+    {
+        GateKind.X,
+        GateKind.CNOT,
+        GateKind.TOFFOLI,
+        GateKind.FREDKIN,
+        GateKind.MCT,
+        GateKind.MCF,
+        GateKind.SWAP,
+    }
+)
+
+
+def apply_gate_to_bits(gate: Gate, bits: list[int]) -> None:
+    """Apply a classical reversible gate to a mutable bit list in place.
+
+    Raises
+    ------
+    CircuitError
+        If the gate kind has no classical action (e.g. H or T).
+    """
+    kind = gate.kind
+    if kind not in CLASSICAL_KINDS:
+        raise CircuitError(
+            f"gate kind {kind.value!r} has no classical basis-state action"
+        )
+    if kind is GateKind.SWAP:
+        qa, qb = gate.targets
+        bits[qa], bits[qb] = bits[qb], bits[qa]
+        return
+    controls_on = all(bits[c] for c in gate.controls)
+    if not controls_on:
+        return
+    if kind in (GateKind.X, GateKind.CNOT, GateKind.TOFFOLI, GateKind.MCT):
+        target = gate.targets[0]
+        bits[target] ^= 1
+    else:  # FREDKIN / MCF: controlled swap
+        qa, qb = gate.targets
+        bits[qa], bits[qb] = bits[qb], bits[qa]
+
+
+def simulate_basis(circuit: Circuit, input_bits: Sequence[int]) -> list[int]:
+    """Run a reversible circuit on a computational basis state.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit containing only classical gate kinds.
+    input_bits:
+        One bit (0/1) per qubit, indexed like the circuit's qubits.
+
+    Returns
+    -------
+    list[int]
+        The output bit per qubit.
+    """
+    if len(input_bits) != circuit.num_qubits:
+        raise CircuitError(
+            f"expected {circuit.num_qubits} input bits, got {len(input_bits)}"
+        )
+    bits = [1 if b else 0 for b in input_bits]
+    for gate in circuit:
+        apply_gate_to_bits(gate, bits)
+    return bits
+
+
+def simulate_int(
+    circuit: Circuit, value: int, bit_order: Sequence[int] | None = None
+) -> int:
+    """Run :func:`simulate_basis` with integer encode/decode convenience.
+
+    ``value`` bit ``i`` (little-endian) initializes qubit ``bit_order[i]``
+    (identity order by default); the output is re-packed the same way.
+    """
+    order = list(bit_order) if bit_order is not None else list(range(circuit.num_qubits))
+    bits = [0] * circuit.num_qubits
+    for i, qubit in enumerate(order):
+        bits[qubit] = (value >> i) & 1
+    out = simulate_basis(circuit, bits)
+    result = 0
+    for i, qubit in enumerate(order):
+        result |= out[qubit] << i
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Dense unitaries (small circuits only).
+# ---------------------------------------------------------------------------
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+_ONE_QUBIT_MATRICES: dict[GateKind, np.ndarray] = {
+    GateKind.X: np.array([[0, 1], [1, 0]], dtype=complex),
+    GateKind.Y: np.array([[0, -1j], [1j, 0]], dtype=complex),
+    GateKind.Z: np.array([[1, 0], [0, -1]], dtype=complex),
+    GateKind.H: np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex),
+    GateKind.S: np.array([[1, 0], [0, 1j]], dtype=complex),
+    GateKind.SDG: np.array([[1, 0], [0, -1j]], dtype=complex),
+    GateKind.T: np.array(
+        [[1, 0], [0, complex(_SQ2, _SQ2)]], dtype=complex
+    ),
+    GateKind.TDG: np.array(
+        [[1, 0], [0, complex(_SQ2, -_SQ2)]], dtype=complex
+    ),
+}
+
+#: The ideal 8x8 Toffoli matrix with qubit order (control1, control2, target),
+#: qubit 0 being the least-significant index bit.
+TOFFOLI_MATRIX = np.eye(8, dtype=complex)
+TOFFOLI_MATRIX[[3, 7], :] = TOFFOLI_MATRIX[[7, 3], :]
+
+
+def gate_unitary(gate: Gate, num_qubits: int) -> np.ndarray:
+    """Dense ``2**num_qubits`` unitary of a single gate.
+
+    Basis convention: state index bit ``i`` (little-endian) is qubit ``i``.
+    Supports every gate kind; classical kinds become permutation matrices.
+    """
+    if num_qubits > 14:
+        raise CircuitError(
+            f"dense unitaries limited to 14 qubits, got {num_qubits}"
+        )
+    dim = 1 << num_qubits
+    if gate.kind in _ONE_QUBIT_MATRICES:
+        matrix = _ONE_QUBIT_MATRICES[gate.kind]
+        target = gate.targets[0]
+        unitary = np.zeros((dim, dim), dtype=complex)
+        for state in range(dim):
+            bit = (state >> target) & 1
+            for new_bit in (0, 1):
+                amplitude = matrix[new_bit, bit]
+                if amplitude != 0:
+                    new_state = (state & ~(1 << target)) | (new_bit << target)
+                    unitary[new_state, state] += amplitude
+        return unitary
+    # Classical (permutation) gates, including controlled swaps.
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for state in range(dim):
+        bits = [(state >> i) & 1 for i in range(num_qubits)]
+        apply_gate_to_bits(gate, bits)
+        new_state = sum(bit << i for i, bit in enumerate(bits))
+        unitary[new_state, state] = 1.0
+    return unitary
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Dense unitary of a whole circuit (product of gate unitaries)."""
+    dim = 1 << circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for gate in circuit:
+        unitary = gate_unitary(gate, circuit.num_qubits) @ unitary
+    return unitary

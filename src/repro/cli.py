@@ -1,0 +1,297 @@
+"""Command-line interface: ``leqa`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+
+``estimate``
+    Run LEQA on a named benchmark or a netlist file and print the model's
+    intermediate quantities plus the estimated latency.
+
+``map``
+    Run the detailed QSPR-class mapper and print the actual latency and
+    movement statistics.
+
+``compare``
+    Run both and print the Table 2-style accuracy row.
+
+``benchmarks``
+    List the registered benchmark circuits.
+
+Netlist files are recognised by extension: ``.real`` (RevLib subset) or
+anything else as qasm-lite.  Non-FT circuits are passed through the
+paper's FT synthesis flow automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.errors import absolute_error_percent
+from .analysis.report import format_scientific
+from .circuits.circuit import Circuit
+from .circuits.library import BENCHMARKS, build
+from .circuits.decompose import synthesize_ft
+from .circuits.parser import read_qasm_lite, read_real
+from .core.estimator import LEQAEstimator
+from .exceptions import ReproError
+from .fabric.params import FabricSpec, PhysicalParams
+from .qspr.mapper import QSPRMapper
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def _load_circuit(source: str) -> Circuit:
+    """Load a circuit from a benchmark name or a netlist path."""
+    if source in BENCHMARKS:
+        return build(source)
+    path = Path(source)
+    if not path.exists():
+        raise ReproError(
+            f"{source!r} is neither a registered benchmark nor a file; "
+            "run 'leqa benchmarks' for the registry"
+        )
+    if path.suffix == ".real":
+        return read_real(path)
+    return read_qasm_lite(path)
+
+
+def _prepare_ft(circuit: Circuit) -> Circuit:
+    """FT-synthesize the circuit unless it already is fault-tolerant."""
+    if circuit.is_ft():
+        return circuit
+    return synthesize_ft(circuit)
+
+
+def _params_from_args(args: argparse.Namespace) -> PhysicalParams:
+    return PhysicalParams(
+        fabric=FabricSpec(args.width, args.height),
+        channel_capacity=args.channel_capacity,
+        qubit_speed=args.speed,
+        t_move=args.t_move,
+    )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "circuit",
+        help="benchmark name (see 'leqa benchmarks') or netlist path",
+    )
+    parser.add_argument(
+        "--width", type=int, default=60, help="fabric width a (default 60)"
+    )
+    parser.add_argument(
+        "--height", type=int, default=60, help="fabric height b (default 60)"
+    )
+    parser.add_argument(
+        "--channel-capacity",
+        type=int,
+        default=5,
+        help="channel capacity N_c (default 5)",
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=0.001,
+        help="qubit speed v (default 0.001)",
+    )
+    parser.add_argument(
+        "--t-move",
+        type=float,
+        default=100.0,
+        help="T_move in microseconds (default 100)",
+    )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="leqa",
+        description="LEQA latency estimation (DAC 2013 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    est = subparsers.add_parser("estimate", help="run the LEQA estimator")
+    _add_common_options(est)
+    est.add_argument(
+        "--max-sq-terms",
+        type=int,
+        default=20,
+        help="E[S_q] truncation (default 20; 0 = exact full series)",
+    )
+    est.add_argument(
+        "--optimize",
+        action="store_true",
+        help="peephole-optimize the FT netlist before estimating",
+    )
+    est.add_argument(
+        "--queue-model",
+        default="mm1",
+        choices=("mm1", "md1"),
+        help="channel congestion model (default: mm1, the paper's)",
+    )
+
+    mapper = subparsers.add_parser("map", help="run the detailed mapper")
+    _add_common_options(mapper)
+    mapper.add_argument(
+        "--placement",
+        default="iig_greedy",
+        choices=("iig_greedy", "row_major", "random"),
+        help="initial placement strategy",
+    )
+    mapper.add_argument(
+        "--routing",
+        default="maze",
+        choices=("maze", "xy"),
+        help="routing mode",
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="run both and report the accuracy row"
+    )
+    _add_common_options(compare)
+
+    heatmap = subparsers.add_parser(
+        "heatmap", help="render fabric heatmaps (coverage / mapper activity)"
+    )
+    _add_common_options(heatmap)
+    heatmap.add_argument(
+        "--kind",
+        default="coverage",
+        choices=("coverage", "utilization", "congestion"),
+        help="which surface to render (default: coverage)",
+    )
+
+    subparsers.add_parser("benchmarks", help="list registered benchmarks")
+    return parser
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    circuit = _prepare_ft(_load_circuit(args.circuit))
+    if args.optimize:
+        from .circuits.optimize import optimize_ft
+
+        before = len(circuit)
+        circuit = optimize_ft(circuit)
+        print(f"optimizer          {before} -> {len(circuit)} ops")
+    max_terms = None if args.max_sq_terms == 0 else args.max_sq_terms
+    estimator = LEQAEstimator(
+        params=_params_from_args(args),
+        max_sq_terms=max_terms,
+        queue_model=args.queue_model,
+    )
+    result = estimator.estimate(circuit)
+    print(f"circuit            {circuit.name}")
+    print(f"qubits             {result.qubit_count}")
+    print(f"operations         {result.op_count}")
+    print(f"avg zone area B    {result.average_zone_area:.4f}")
+    print(f"d_uncong           {result.d_uncong:.4f} us")
+    print(f"L_CNOT^avg         {result.l_avg_cnot:.4f} us")
+    print(f"critical CNOTs     {result.critical.cnot_count}")
+    print(
+        "estimated latency  "
+        f"{format_scientific(result.latency_seconds)} s"
+    )
+    print(f"estimator runtime  {result.elapsed_seconds:.3f} s")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    circuit = _prepare_ft(_load_circuit(args.circuit))
+    mapper = QSPRMapper(
+        params=_params_from_args(args),
+        placement=args.placement,
+        routing=args.routing,
+    )
+    result = mapper.map(circuit)
+    stats = result.schedule.stats
+    print(f"circuit            {circuit.name}")
+    print(f"qubits             {result.qubit_count}")
+    print(f"operations         {result.op_count}")
+    print(f"qubit moves        {stats.total_moves}")
+    print(f"channel hops       {stats.total_hops}")
+    print(f"congestion wait    {stats.congestion_wait:.1f} us")
+    print(
+        "actual latency     "
+        f"{format_scientific(result.latency_seconds)} s"
+    )
+    print(f"mapper runtime     {result.elapsed_seconds:.3f} s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    circuit = _prepare_ft(_load_circuit(args.circuit))
+    params = _params_from_args(args)
+    mapped = QSPRMapper(params=params).map(circuit)
+    estimated = LEQAEstimator(params=params).estimate(circuit)
+    error = absolute_error_percent(
+        mapped.latency_seconds, estimated.latency_seconds
+    )
+    speedup = mapped.elapsed_seconds / max(estimated.elapsed_seconds, 1e-9)
+    print(f"circuit            {circuit.name}")
+    print(f"actual latency     {format_scientific(mapped.latency_seconds)} s")
+    print(
+        "estimated latency  "
+        f"{format_scientific(estimated.latency_seconds)} s"
+    )
+    print(f"absolute error     {error:.2f} %")
+    print(f"mapper runtime     {mapped.elapsed_seconds:.3f} s")
+    print(f"estimator runtime  {estimated.elapsed_seconds:.3f} s")
+    print(f"speedup            {speedup:.1f}x")
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from .analysis.visualize import (
+        congestion_heatmap,
+        coverage_heatmap,
+        utilization_heatmap,
+    )
+    from .core.presence import compute_zones
+    from .qodg.iig import build_iig
+
+    circuit = _prepare_ft(_load_circuit(args.circuit))
+    params = _params_from_args(args)
+    width, height = params.fabric.width, params.fabric.height
+    if args.kind == "coverage":
+        zones = compute_zones(build_iig(circuit))
+        print(coverage_heatmap(width, height, zones.average_area))
+        return 0
+    mapper = QSPRMapper(params=params, record_trace=True)
+    trace = mapper.map(circuit).schedule.trace
+    if args.kind == "utilization":
+        print(utilization_heatmap(trace, width, height))
+    else:
+        print(congestion_heatmap(trace, width, height))
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    print(f"{'name':<18} {'family':<10}")
+    print("-" * 29)
+    for name, spec in BENCHMARKS.items():
+        print(f"{name:<18} {spec.family:<10}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "estimate": _cmd_estimate,
+        "map": _cmd_map,
+        "compare": _cmd_compare,
+        "heatmap": _cmd_heatmap,
+        "benchmarks": _cmd_benchmarks,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

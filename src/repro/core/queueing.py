@@ -1,0 +1,141 @@
+"""Channel congestion as an M/M/1 queue — paper Equations (8)-(11).
+
+A routing channel with capacity ``N_c`` is *uncongested* while at most
+``N_c`` qubits inhabit it: each crosses in the minimum time ``d_uncong``.
+With ``q > N_c`` qubits, the surplus pipelines behind the channel.  The
+paper models this as an M/M/1/inf queue with service rate
+``mu = N_c / d_uncong`` and an arrival rate ``lambda`` chosen so the mean
+queue length equals ``q`` (Eq. 9-10); Little's law then gives the mean
+wait (Eq. 11), yielding the piecewise latency of Eq. 8:
+
+    d_q = d_uncong                          for q <= N_c
+    d_q = (1 + q) d_uncong / N_c            otherwise
+
+The intermediate quantities (``mu``, ``lambda``, ``W_avg``) are exposed for
+tests and for the parameter-sensitivity ablation.
+"""
+
+from __future__ import annotations
+
+from .._validation import (
+    require_non_negative_float,
+    require_non_negative_int,
+    require_positive_int,
+)
+from ..exceptions import EstimationError
+
+__all__ = [
+    "service_rate",
+    "arrival_rate",
+    "average_wait",
+    "congested_latency",
+    "congested_latency_md1",
+    "latency_profile",
+]
+
+
+def service_rate(d_uncong: float, capacity: int) -> float:
+    """``mu = N_c / d_uncong`` — channel service rate.
+
+    ``d_uncong`` must be positive (a zero uncongested latency has no
+    meaningful queue).
+    """
+    require_positive_int(capacity, "capacity", EstimationError)
+    if d_uncong <= 0:
+        raise EstimationError(
+            f"d_uncong must be positive for queue analysis, got {d_uncong}"
+        )
+    return capacity / d_uncong
+
+
+def arrival_rate(queue_length: int, d_uncong: float, capacity: int) -> float:
+    """Eq. 10: ``lambda = q N_c / ((1 + q) d_uncong)``.
+
+    Solves ``q = lambda / (mu - lambda)`` (Eq. 9, the M/M/1 mean queue
+    length) for ``lambda`` given ``mu = N_c / d_uncong``.
+    """
+    require_non_negative_int(queue_length, "queue_length", EstimationError)
+    mu = service_rate(d_uncong, capacity)
+    return queue_length * mu / (1 + queue_length)
+
+
+def average_wait(queue_length: int, d_uncong: float, capacity: int) -> float:
+    """Eq. 11: ``W_avg = (1 + q) d_uncong / N_c`` via Little's law.
+
+    ``W_avg = q / lambda`` with ``lambda`` from Eq. 10.
+    """
+    require_non_negative_int(queue_length, "queue_length", EstimationError)
+    require_positive_int(capacity, "capacity", EstimationError)
+    require_non_negative_float(d_uncong, "d_uncong", EstimationError)
+    return (1 + queue_length) * d_uncong / capacity
+
+
+def congested_latency(
+    overlap: int, d_uncong: float, capacity: int
+) -> float:
+    """Eq. 8: routing latency ``d_q`` under ``q`` overlapping zones.
+
+    Parameters
+    ----------
+    overlap:
+        ``q`` — the number of presence zones covering the region.
+    d_uncong:
+        Average uncongested routing latency.
+    capacity:
+        ``N_c`` — channel capacity.
+    """
+    require_non_negative_int(overlap, "overlap", EstimationError)
+    require_positive_int(capacity, "capacity", EstimationError)
+    require_non_negative_float(d_uncong, "d_uncong", EstimationError)
+    if overlap <= capacity:
+        return d_uncong
+    return (1 + overlap) * d_uncong / capacity
+
+
+def congested_latency_md1(
+    overlap: int, d_uncong: float, capacity: int
+) -> float:
+    """Alternative congestion model with *deterministic* service (M/D/1).
+
+    The paper assumes exponentially distributed service times "to simplify
+    the calculations" and notes the simple model performs well.  This
+    variant repeats the derivation under deterministic service — arguably
+    closer to a fixed ``T_move`` hop — for the ablation that quantifies
+    how much the service-distribution choice matters.
+
+    Derivation mirrors Eqs. 9-11: the M/D/1 mean number in system is
+    ``L = rho + rho^2 / (2 (1 - rho))`` with ``rho = lambda / mu``.
+    Setting ``L = q`` and solving the quadratic for the stable root
+    ``rho < 1`` gives ``rho = (1 + q) - sqrt((1 + q)^2 - 2 q)``; Little's
+    law then yields ``W = q / lambda = q * d_uncong / (rho * N_c)``.
+    As in Eq. 8, overlaps at or below capacity are uncongested.
+    """
+    require_non_negative_int(overlap, "overlap", EstimationError)
+    require_positive_int(capacity, "capacity", EstimationError)
+    require_non_negative_float(d_uncong, "d_uncong", EstimationError)
+    if overlap <= capacity:
+        return d_uncong
+    utilization = (1 + overlap) - ((1 + overlap) ** 2 - 2 * overlap) ** 0.5
+    return overlap * d_uncong / (utilization * capacity)
+
+
+def latency_profile(
+    max_overlap: int, d_uncong: float, capacity: int, model: str = "mm1"
+) -> list[float]:
+    """``[d_1, d_2, ..., d_max_overlap]`` under the chosen queue model.
+
+    ``model`` is ``"mm1"`` (Eq. 8, default) or ``"md1"``
+    (:func:`congested_latency_md1`).
+    """
+    require_positive_int(max_overlap, "max_overlap", EstimationError)
+    if model == "mm1":
+        latency = congested_latency
+    elif model == "md1":
+        latency = congested_latency_md1
+    else:
+        raise EstimationError(
+            f"unknown queue model {model!r}; choose 'mm1' or 'md1'"
+        )
+    return [
+        latency(q, d_uncong, capacity) for q in range(1, max_overlap + 1)
+    ]

@@ -1,0 +1,110 @@
+"""Expected shortest Hamiltonian path length — paper Equations (13)-(15).
+
+A qubit ``n_i`` travels inside its presence zone to interact with its
+``M_i`` IIG neighbours.  The expected length of that journey is modelled as
+the expected shortest Hamiltonian path through ``M_i + 1`` points placed
+uniformly at random in the zone.  Exact computation is NP-hard, so the
+paper brackets the random-TSP tour length for ``N = M_i + 1`` points in the
+unit square:
+
+    lower = 0.708 sqrt(N) + 0.551                            (Eq. 13)
+    upper = 0.718 sqrt(N) + 0.731                            (Eq. 14)
+
+takes the midpoint, rescales by the zone side ``sqrt(B_i)``, and removes
+one tour edge via the factor ``(M_i - 1) / M_i``:
+
+    E[l_ham,i] ~= sqrt(B_i) (0.713 sqrt(M_i+1) + 0.641) (M_i-1)/M_i  (15)
+
+The bounds assume ``N >> 1``.  For ``M_i = 1`` the paper's factor
+``(M_i - 1)/M_i`` vanishes; ``strict=True`` (paper-faithful, default)
+reproduces that, while ``strict=False`` substitutes the exact expected
+distance between two uniform points in the square — an optional refinement
+for degree-1-dominated circuits.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import EstimationError
+
+__all__ = [
+    "TSP_LOWER_COEFFS",
+    "TSP_UPPER_COEFFS",
+    "TSP_MID_COEFFS",
+    "UNIT_SQUARE_MEAN_DISTANCE",
+    "tsp_tour_lower_bound",
+    "tsp_tour_upper_bound",
+    "tsp_tour_estimate",
+    "expected_hamiltonian_path",
+]
+
+#: (slope, intercept) of Eq. 13: lower bound on the unit-square TSP tour.
+TSP_LOWER_COEFFS = (0.708, 0.551)
+#: (slope, intercept) of Eq. 14: upper bound.
+TSP_UPPER_COEFFS = (0.718, 0.731)
+#: Midpoint coefficients used by Eq. 15.
+TSP_MID_COEFFS = (0.713, 0.641)
+
+#: Exact expected Euclidean distance between two uniform points in the unit
+#: square: (2 + sqrt(2) + 5 asinh(1)) / 15.
+UNIT_SQUARE_MEAN_DISTANCE = (2.0 + math.sqrt(2.0) + 5.0 * math.asinh(1.0)) / 15.0
+
+
+def _check_points(num_points: int) -> None:
+    if num_points < 1:
+        raise EstimationError(
+            f"number of points must be >= 1, got {num_points}"
+        )
+
+
+def tsp_tour_lower_bound(num_points: int) -> float:
+    """Eq. 13: lower bound on the expected unit-square TSP tour length."""
+    _check_points(num_points)
+    slope, intercept = TSP_LOWER_COEFFS
+    return slope * math.sqrt(num_points) + intercept
+
+
+def tsp_tour_upper_bound(num_points: int) -> float:
+    """Eq. 14: upper bound on the expected unit-square TSP tour length."""
+    _check_points(num_points)
+    slope, intercept = TSP_UPPER_COEFFS
+    return slope * math.sqrt(num_points) + intercept
+
+
+def tsp_tour_estimate(num_points: int) -> float:
+    """Midpoint of Eqs. 13-14 (the paper's point estimate)."""
+    _check_points(num_points)
+    slope, intercept = TSP_MID_COEFFS
+    return slope * math.sqrt(num_points) + intercept
+
+
+def expected_hamiltonian_path(
+    degree: int, area: float, strict: bool = True
+) -> float:
+    """``E[l_ham,i]`` — Eq. 15.
+
+    Parameters
+    ----------
+    degree:
+        ``M_i``, the qubit's IIG degree.  Zero yields a zero-length journey
+        (no interactions to travel to).
+    area:
+        ``B_i``, the presence-zone area; the zone side is ``sqrt(B_i)``.
+    strict:
+        Paper-faithful when ``True``: ``M_i = 1`` returns 0 because of the
+        ``(M_i - 1)/M_i`` tour-to-path factor.  When ``False``, ``M_i = 1``
+        instead uses the exact two-point expected distance scaled by the
+        zone side.
+    """
+    if degree < 0:
+        raise EstimationError(f"degree must be non-negative, got {degree}")
+    if area <= 0:
+        raise EstimationError(f"zone area must be positive, got {area}")
+    if degree == 0:
+        return 0.0
+    side = math.sqrt(area)
+    if degree == 1 and not strict:
+        return side * UNIT_SQUARE_MEAN_DISTANCE
+    tour = tsp_tour_estimate(degree + 1)
+    return side * tour * (degree - 1) / degree

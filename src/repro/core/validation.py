@@ -1,0 +1,196 @@
+"""Monte-Carlo validation of LEQA's analytical components.
+
+The estimator rests on three closed-form pieces: the coverage statistics
+of randomly placed zones (Eqs. 4-5), the random-TSP tour-length bracket
+(Eqs. 13-14) and the M/M/1 queue behaviour (Eqs. 8-11).  The paper
+validates them indirectly through end-to-end accuracy; this module
+validates them *directly* by simulation, so a user extending the model
+(different zone shapes, other fabrics) can re-check each assumption in
+isolation.
+
+* :func:`simulate_coverage_surfaces` — place ``Q`` square zones uniformly
+  at random on the fabric many times and count, per ULB, how many zones
+  cover it; the empirical ``E[S_q]`` histogram should match Eq. 4.
+* :func:`simulate_hamiltonian_path` — draw ``N`` uniform points in the
+  unit square and measure a heuristic (nearest-neighbour + 2-opt)
+  Hamiltonian path through them; the paper's Eq. 15 midpoint should land
+  near (and its Eq. 13-14 bracket around) the empirical mean for large N.
+
+Both are seeded and deterministic; the test suite runs them at reduced
+sample counts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..exceptions import EstimationError
+from .coverage import zone_side
+
+__all__ = [
+    "CoverageSimulation",
+    "simulate_coverage_surfaces",
+    "PathSimulation",
+    "simulate_hamiltonian_path",
+    "heuristic_hamiltonian_path_length",
+]
+
+
+@dataclass(frozen=True)
+class CoverageSimulation:
+    """Empirical coverage statistics.
+
+    ``surfaces[q]`` is the empirically expected fabric surface covered by
+    exactly ``q`` zones, for ``q = 0 .. max_overlap`` (a prefix of the full
+    distribution; the remaining mass sits in ``tail_surface``).
+    """
+
+    surfaces: tuple[float, ...]
+    tail_surface: float
+    trials: int
+
+    @property
+    def total(self) -> float:
+        """Total accounted surface (should equal the fabric area)."""
+        return sum(self.surfaces) + self.tail_surface
+
+
+def simulate_coverage_surfaces(
+    num_zones: int,
+    width: int,
+    height: int,
+    area: float,
+    trials: int = 200,
+    max_overlap: int = 30,
+    seed: int = 0,
+) -> CoverageSimulation:
+    """Monte-Carlo counterpart of Eq. 4.
+
+    Places ``num_zones`` square zones of side ``ceil(sqrt(area))``
+    uniformly at random (all valid top-left anchors equally likely, the
+    distribution Eq. 5 integrates over) and averages, over ``trials``
+    placements, the number of ULBs covered by exactly ``q`` zones.
+    """
+    require_positive_int(num_zones, "num_zones", EstimationError)
+    require_positive_int(trials, "trials", EstimationError)
+    require_positive_int(max_overlap, "max_overlap", EstimationError)
+    side_x = zone_side(area, width)
+    side_y = zone_side(area, height)
+    anchors_x = width - side_x + 1
+    anchors_y = height - side_y + 1
+    rng = random.Random(seed)
+    accumulator = np.zeros(max_overlap + 1, dtype=float)
+    tail = 0.0
+    counts = np.zeros((width, height), dtype=np.int32)
+    for _ in range(trials):
+        counts[:, :] = 0
+        for _ in range(num_zones):
+            ax = rng.randrange(anchors_x)
+            ay = rng.randrange(anchors_y)
+            counts[ax: ax + side_x, ay: ay + side_y] += 1
+        flat = counts.ravel()
+        histogram = np.bincount(flat, minlength=max_overlap + 1)
+        accumulator += histogram[: max_overlap + 1]
+        tail += histogram[max_overlap + 1:].sum()
+    accumulator /= trials
+    tail /= trials
+    return CoverageSimulation(
+        surfaces=tuple(accumulator.tolist()),
+        tail_surface=float(tail),
+        trials=trials,
+    )
+
+
+def _two_opt(points: list[tuple[float, float]], order: list[int]) -> float:
+    """2-opt improvement of an open path; returns the final length."""
+
+    def dist(i: int, j: int) -> float:
+        (x1, y1), (x2, y2) = points[order[i]], points[order[j]]
+        return math.hypot(x1 - x2, y1 - y2)
+
+    n = len(order)
+    improved = True
+    while improved:
+        improved = False
+        for i in range(n - 2):
+            for j in range(i + 2, n - 1):
+                # Replacing edges (i,i+1) and (j,j+1) with (i,j), (i+1,j+1)
+                # reverses the segment between them.
+                delta = (
+                    dist(i, j) + dist(i + 1, j + 1)
+                    - dist(i, i + 1) - dist(j, j + 1)
+                )
+                if delta < -1e-12:
+                    order[i + 1: j + 1] = reversed(order[i + 1: j + 1])
+                    improved = True
+    return sum(
+        math.hypot(
+            points[order[k]][0] - points[order[k + 1]][0],
+            points[order[k]][1] - points[order[k + 1]][1],
+        )
+        for k in range(n - 1)
+    )
+
+
+def heuristic_hamiltonian_path_length(
+    points: list[tuple[float, float]]
+) -> float:
+    """Near-optimal open-path length: nearest-neighbour start + 2-opt.
+
+    Exact shortest Hamiltonian paths are NP-hard (the reason the paper
+    reaches for the Eq. 13-14 bracket); NN + 2-opt is within a few percent
+    of optimal at the point counts the model deals with, which is enough
+    to check that the analytical bracket is sane.
+    """
+    if len(points) < 2:
+        return 0.0
+    remaining = set(range(len(points)))
+    order = [0]
+    remaining.discard(0)
+    while remaining:
+        last = points[order[-1]]
+        nxt = min(
+            remaining,
+            key=lambda idx: math.hypot(
+                points[idx][0] - last[0], points[idx][1] - last[1]
+            ),
+        )
+        order.append(nxt)
+        remaining.discard(nxt)
+    return _two_opt(points, order)
+
+
+@dataclass(frozen=True)
+class PathSimulation:
+    """Empirical Hamiltonian path statistics for N uniform points."""
+
+    num_points: int
+    mean_length: float
+    std_length: float
+    trials: int
+
+
+def simulate_hamiltonian_path(
+    num_points: int, trials: int = 50, seed: int = 0
+) -> PathSimulation:
+    """Monte-Carlo counterpart of Eqs. 13-15 on the unit square."""
+    require_positive_int(num_points, "num_points", EstimationError)
+    require_positive_int(trials, "trials", EstimationError)
+    rng = random.Random(seed)
+    lengths = []
+    for _ in range(trials):
+        points = [(rng.random(), rng.random()) for _ in range(num_points)]
+        lengths.append(heuristic_hamiltonian_path_length(points))
+    mean = sum(lengths) / trials
+    variance = sum((l - mean) ** 2 for l in lengths) / trials
+    return PathSimulation(
+        num_points=num_points,
+        mean_length=mean,
+        std_length=math.sqrt(variance),
+        trials=trials,
+    )

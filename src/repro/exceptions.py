@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  Subclasses
+partition failures by subsystem: circuit construction, netlist parsing, FT
+synthesis, graph construction, fabric configuration, estimation, and mapping.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or manipulation.
+
+    Examples include adding a gate that references an unknown qubit, a gate
+    whose control and target coincide, or querying statistics of an empty
+    circuit where they are undefined.
+    """
+
+
+class ParseError(ReproError):
+    """Raised when a netlist file cannot be parsed.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line number at which the error was detected, or ``None``
+        when the error is not attributable to a specific line.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class DecompositionError(ReproError):
+    """Raised when FT synthesis cannot decompose a gate.
+
+    This typically signals an unsupported gate kind reaching the fault-
+    tolerant decomposition stage, or a malformed multi-controlled gate.
+    """
+
+
+class GraphError(ReproError):
+    """Raised for invalid QODG/IIG construction or queries."""
+
+
+class FabricError(ReproError):
+    """Raised for invalid fabric geometry or physical parameters."""
+
+
+class EstimationError(ReproError):
+    """Raised when the LEQA estimator receives inconsistent inputs."""
+
+
+class MappingError(ReproError):
+    """Raised when the QSPR baseline mapper fails.
+
+    Examples include a circuit with more logical qubits than the fabric has
+    ULBs, or an unroutable configuration.
+    """

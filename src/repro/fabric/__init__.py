@@ -1,0 +1,16 @@
+"""Tiled quantum architecture: physical parameters, geometry, channels."""
+
+from .channels import ChannelNetwork
+from .params import DEFAULT_PARAMS, FabricSpec, GateDelays, PhysicalParams
+from .tqa import Channel, Position, TQA
+
+__all__ = [
+    "ChannelNetwork",
+    "DEFAULT_PARAMS",
+    "FabricSpec",
+    "GateDelays",
+    "PhysicalParams",
+    "Channel",
+    "Position",
+    "TQA",
+]

@@ -1,0 +1,119 @@
+"""Time-slotted channel occupancy bookkeeping for the QSPR mapper.
+
+Each routing channel passes at most ``N_c`` qubits concurrently (the
+paper's channel capacity).  A qubit crossing a channel occupies one of its
+``N_c`` slots for one ``T_move`` interval; when all slots are busy the
+qubit waits for the earliest slot to free — the pipeline behaviour LEQA
+approximates with its M/M/1 model (paper Figure 5).
+
+The mapper reserves slots as it routes, so congestion emerges naturally
+from overlapping qubit journeys; :class:`ChannelNetwork` also keeps
+per-channel traversal counts for congestion statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+from .._validation import require_positive_float, require_positive_int
+from ..exceptions import FabricError
+from .tqa import Channel
+
+__all__ = ["ChannelNetwork"]
+
+
+class ChannelNetwork:
+    """Per-channel slot reservations with capacity ``N_c``.
+
+    Channels are created lazily on first use, so only channels actually
+    traversed consume memory.
+    """
+
+    def __init__(self, capacity: int, t_move: float) -> None:
+        require_positive_int(capacity, "capacity", FabricError)
+        require_positive_float(t_move, "t_move", FabricError)
+        self._capacity = capacity
+        self._t_move = t_move
+        # Per channel: min-heap of slot-free times, lazily sized <= capacity.
+        self._slots: dict[Channel, list[float]] = {}
+        self._traversals: Counter[Channel] = Counter()
+        self._total_wait = 0.0
+
+    @property
+    def capacity(self) -> int:
+        """``N_c``, slots per channel."""
+        return self._capacity
+
+    @property
+    def t_move(self) -> float:
+        """``T_move``, the per-hop traversal time in microseconds."""
+        return self._t_move
+
+    def peek_start(self, channel: Channel, arrival: float) -> float:
+        """Earliest time a qubit arriving at ``arrival`` could start
+        crossing ``channel``, *without* reserving a slot.
+
+        Used by the congestion-aware maze router to evaluate candidate
+        paths before committing to one.
+        """
+        slots = self._slots.get(channel)
+        if slots is None or len(slots) < self._capacity:
+            return arrival
+        earliest_free = slots[0]
+        return arrival if arrival >= earliest_free else earliest_free
+
+    def traverse(self, channel: Channel, arrival: float) -> float:
+        """Reserve a slot on ``channel`` for a qubit arriving at ``arrival``.
+
+        Returns the time at which the qubit has crossed the channel
+        (``start + T_move`` where ``start`` is the arrival delayed by any
+        slot contention).
+        """
+        slots = self._slots.get(channel)
+        if slots is None:
+            slots = []
+            self._slots[channel] = slots
+        if len(slots) < self._capacity:
+            start = arrival
+            heapq.heappush(slots, start + self._t_move)
+        else:
+            earliest_free = slots[0]
+            start = arrival if arrival >= earliest_free else earliest_free
+            heapq.heapreplace(slots, start + self._t_move)
+        self._traversals[channel] += 1
+        self._total_wait += start - arrival
+        return start + self._t_move
+
+    def traverse_path(self, channels: list[Channel], departure: float) -> float:
+        """Cross each channel in sequence, returning the final arrival time."""
+        time = departure
+        for channel in channels:
+            time = self.traverse(channel, time)
+        return time
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def total_traversals(self) -> int:
+        """Total channel crossings recorded."""
+        return sum(self._traversals.values())
+
+    @property
+    def total_wait(self) -> float:
+        """Accumulated congestion wait time across all crossings (µs)."""
+        return self._total_wait
+
+    def busiest_channels(self, count: int = 10) -> list[tuple[Channel, int]]:
+        """The ``count`` most-traversed channels and their crossing counts."""
+        return self._traversals.most_common(count)
+
+    def traversals_of(self, channel: Channel) -> int:
+        """Crossings recorded on one channel."""
+        return self._traversals.get(channel, 0)
+
+    def reset(self) -> None:
+        """Clear all reservations and statistics."""
+        self._slots.clear()
+        self._traversals.clear()
+        self._total_wait = 0.0

@@ -1,0 +1,183 @@
+"""Physical parameters of the tiled quantum architecture (paper Table 1).
+
+All times are in **microseconds**; Table 2 of the paper reports seconds, and
+the report layer converts.  The defaults replicate Table 1 exactly:
+
+===============================  =========
+``d_H``                           5440 µs
+``d_T``, ``d_T†``                10940 µs
+``d_X``, ``d_Y``, ``d_Z``         5240 µs
+``d_CNOT``                        4930 µs
+``N_c`` (channel capacity)        5
+``v`` (qubit speed)               0.001
+``A = a x b``                     3600 = 60 x 60
+``T_move``                        100 µs
+===============================  =========
+
+The delays come from a ULB designer tool for an ion-trap fabric under the
+[[7,1,3]] Steane code; T/T† are non-transversal in that code, hence slower.
+The paper does not list S/S† (transversal in Steane like the Paulis), so the
+default assigns them the Pauli delay — overridable like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from .._validation import (
+    require_positive_float,
+    require_positive_int,
+)
+from ..circuits.gates import GateKind, ONE_QUBIT_FT_KINDS
+from ..exceptions import FabricError
+
+__all__ = ["GateDelays", "FabricSpec", "PhysicalParams", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True)
+class GateDelays:
+    """Per-kind FT operation delays ``d_g`` (and ``d_CNOT``) in microseconds.
+
+    These are fabric/QECC constants ("output of a ULB fabric designer
+    tool"), treated as given inputs exactly as in the paper.
+    """
+
+    h: float = 5440.0
+    t: float = 10940.0
+    tdg: float = 10940.0
+    x: float = 5240.0
+    y: float = 5240.0
+    z: float = 5240.0
+    s: float = 5240.0
+    sdg: float = 5240.0
+    cnot: float = 4930.0
+
+    def __post_init__(self) -> None:
+        for name in ("h", "t", "tdg", "x", "y", "z", "s", "sdg", "cnot"):
+            require_positive_float(getattr(self, name), name, FabricError)
+
+    def by_kind(self) -> dict[GateKind, float]:
+        """Delay of each FT gate kind as a dict keyed by :class:`GateKind`."""
+        return {
+            GateKind.H: self.h,
+            GateKind.T: self.t,
+            GateKind.TDG: self.tdg,
+            GateKind.X: self.x,
+            GateKind.Y: self.y,
+            GateKind.Z: self.z,
+            GateKind.S: self.s,
+            GateKind.SDG: self.sdg,
+            GateKind.CNOT: self.cnot,
+        }
+
+    def delay_of(self, kind: GateKind) -> float:
+        """Delay of one FT gate kind.
+
+        Raises
+        ------
+        FabricError
+            If the kind is not an FT operation (no fabric delay exists).
+        """
+        table = self.by_kind()
+        try:
+            return table[kind]
+        except KeyError:
+            raise FabricError(
+                f"gate kind {kind.value!r} is not an FT operation; run FT "
+                "synthesis before estimating latency"
+            ) from None
+
+    @classmethod
+    def from_mapping(cls, delays: Mapping[GateKind, float]) -> "GateDelays":
+        """Build from a kind→delay mapping (missing kinds keep defaults)."""
+        kwargs = {}
+        for kind, value in delays.items():
+            if kind not in ONE_QUBIT_FT_KINDS and kind is not GateKind.CNOT:
+                raise FabricError(
+                    f"gate kind {kind.value!r} is not an FT operation"
+                )
+            kwargs[kind.value] = float(value)
+        return cls(**kwargs)
+
+    def scaled(self, factor: float) -> "GateDelays":
+        """All delays multiplied by ``factor`` (QECC what-if studies)."""
+        require_positive_float(factor, "factor", FabricError)
+        return GateDelays(
+            **{
+                name: getattr(self, name) * factor
+                for name in ("h", "t", "tdg", "x", "y", "z", "s", "sdg", "cnot")
+            }
+        )
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Geometry of the TQA: a ``width x height`` grid of unit-square ULBs.
+
+    ``width`` is the paper's ``a`` and ``height`` its ``b``; the fabric area
+    ``A = a * b`` equals the ULB count (each ULB is a 1x1 square).
+    """
+
+    width: int = 60
+    height: int = 60
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.width, "width", FabricError)
+        require_positive_int(self.height, "height", FabricError)
+
+    @property
+    def area(self) -> int:
+        """``A = a * b``, the number of ULBs."""
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class PhysicalParams:
+    """Complete parameter set consumed by LEQA and the QSPR mapper.
+
+    Attributes
+    ----------
+    delays:
+        FT operation delays (Table 1, left column).
+    fabric:
+        Grid geometry (``A = a x b``).
+    channel_capacity:
+        ``N_c`` — the number of qubits a routing channel passes at full
+        speed; beyond it the channel congests (M/M/1 queue in LEQA,
+        slot-limited pipeline in QSPR).
+    qubit_speed:
+        ``v`` — speed of a logical qubit through the channels, in fabric
+        length units per microsecond; also the estimator's tuning knob
+        against different mappers.
+    t_move:
+        ``T_move`` — time for a logical qubit to hop between neighbouring
+        ULBs/channels/crossbars, in microseconds.
+    """
+
+    delays: GateDelays = field(default_factory=GateDelays)
+    fabric: FabricSpec = field(default_factory=FabricSpec)
+    channel_capacity: int = 5
+    qubit_speed: float = 0.001
+    t_move: float = 100.0
+
+    def __post_init__(self) -> None:
+        require_positive_int(
+            self.channel_capacity, "channel_capacity", FabricError
+        )
+        require_positive_float(self.qubit_speed, "qubit_speed", FabricError)
+        require_positive_float(self.t_move, "t_move", FabricError)
+
+    @property
+    def one_qubit_routing_latency(self) -> float:
+        """``L_g^avg = 2 * T_move`` — the paper's empirical rule for the
+        average routing latency of one-qubit operations."""
+        return 2.0 * self.t_move
+
+    def with_fabric(self, width: int, height: int) -> "PhysicalParams":
+        """Copy with a different fabric size (fabric-sizing sweeps)."""
+        return replace(self, fabric=FabricSpec(width, height))
+
+
+#: The paper's Table 1 parameter set.
+DEFAULT_PARAMS = PhysicalParams()

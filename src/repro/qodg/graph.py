@@ -1,0 +1,161 @@
+"""Quantum operation dependency graph (QODG) construction.
+
+Paper, section 2: "a quantum algorithm may be represented as a quantum
+operation dependency graph (QODG), in which nodes represent FT quantum
+operations and edges capture data dependencies".  A one-qubit operation has
+one edge in and one out; a two-qubit operation two in and two out.  Edges
+between the same node pair are merged, a *start* node feeds the first
+operation on every qubit and an *end* node collects the last.
+
+The graph is stored as flat predecessor/successor adjacency lists indexed
+by operation position; because gates are threaded in program order the node
+numbering is already a topological order (start first, end last), which the
+critical-path pass exploits.  A :meth:`QODG.to_networkx` export exists for
+interoperability and visual debugging, but nothing in the estimation path
+depends on networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from ..exceptions import GraphError
+
+__all__ = ["QODG", "build_qodg"]
+
+
+class QODG:
+    """The dependency DAG of a circuit's operations.
+
+    Node ids: operations are ``0 .. num_ops - 1`` in program order;
+    :attr:`start` is ``num_ops`` and :attr:`end` is ``num_ops + 1``.
+    ``(start, op..., end)`` listed in increasing id order is a valid
+    topological order.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self._circuit = circuit
+        gates = circuit.gates
+        num_ops = len(gates)
+        self.start = num_ops
+        self.end = num_ops + 1
+        total = num_ops + 2
+        preds: list[list[int]] = [[] for _ in range(total)]
+        succs: list[list[int]] = [[] for _ in range(total)]
+        # last_node[q] = node that last touched qubit q (start if none yet).
+        last_node = [self.start] * circuit.num_qubits
+        for index, gate in enumerate(gates):
+            for qubit in gate.iter_qubits():
+                source = last_node[qubit]
+                # Merge parallel edges (paper: "the edges are combined in
+                # order to keep the graph simple").
+                if not succs[source] or succs[source][-1] != index:
+                    succs[source].append(index)
+                    preds[index].append(source)
+                last_node[qubit] = index
+        for qubit in range(circuit.num_qubits):
+            source = last_node[qubit]
+            if source == self.start:
+                continue  # idle qubit: no operations, no start->end edge
+            if not succs[source] or succs[source][-1] != self.end:
+                succs[source].append(self.end)
+                preds[self.end].append(source)
+        self._preds = preds
+        self._succs = succs
+
+    # -- basic accessors ------------------------------------------------
+
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit this graph was built from."""
+        return self._circuit
+
+    @property
+    def num_ops(self) -> int:
+        """Number of operation nodes (excludes start/end)."""
+        return len(self._circuit.gates)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including start and end."""
+        return self.num_ops + 2
+
+    @property
+    def num_edges(self) -> int:
+        """Total merged edge count."""
+        return sum(len(s) for s in self._succs)
+
+    def gate(self, node: int) -> Gate:
+        """The gate at an operation node.
+
+        Raises
+        ------
+        GraphError
+            For the start/end nodes or out-of-range ids.
+        """
+        if not 0 <= node < self.num_ops:
+            raise GraphError(f"node {node} is not an operation node")
+        return self._circuit.gates[node]
+
+    def predecessors(self, node: int) -> tuple[int, ...]:
+        """Predecessor node ids."""
+        self._check_node(node)
+        return tuple(self._preds[node])
+
+    def successors(self, node: int) -> tuple[int, ...]:
+        """Successor node ids."""
+        self._check_node(node)
+        return tuple(self._succs[node])
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node id {node} out of range")
+
+    def operation_nodes(self) -> range:
+        """Range over operation node ids (program order = topological)."""
+        return range(self.num_ops)
+
+    def topological_order(self) -> Iterator[int]:
+        """Nodes in a valid topological order (start, ops..., end)."""
+        yield self.start
+        yield from range(self.num_ops)
+        yield self.end
+
+    def in_degree(self, node: int) -> int:
+        """Number of incoming merged edges."""
+        self._check_node(node)
+        return len(self._preds[node])
+
+    def out_degree(self, node: int) -> int:
+        """Number of outgoing merged edges."""
+        self._check_node(node)
+        return len(self._succs[node])
+
+    # -- export -----------------------------------------------------------
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` with ``gate`` node attributes."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_node(self.start, role="start")
+        graph.add_node(self.end, role="end")
+        for node in self.operation_nodes():
+            graph.add_node(node, gate=self.gate(node))
+        for node in range(self.num_nodes):
+            for succ in self._succs[node]:
+                graph.add_edge(node, succ)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"QODG(ops={self.num_ops}, edges={self.num_edges}, "
+            f"circuit={self._circuit.name!r})"
+        )
+
+
+def build_qodg(circuit: Circuit) -> QODG:
+    """Build the QODG of a circuit (any gate kinds; typically FT)."""
+    return QODG(circuit)

@@ -1,0 +1,143 @@
+"""Interaction intensity graph (IIG) — paper section 3.1.
+
+Nodes are logical qubits; an undirected edge ``e_ij`` connects qubits that
+interact through at least one two-qubit operation, weighted by the number
+of such operations ``w(e_ij)``.  One-qubit gates add nothing (no
+self-loops).  From the IIG the estimator reads, for each qubit ``n_i``:
+
+* ``M_i = deg(n_i)`` — the neighbour count that sizes the presence zone
+  (Eq. 6), and
+* ``sum_j w(e_ij)`` — the adjacent weight sum used to weight zone areas and
+  uncongested latencies in Eqs. (7) and (12).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuits.circuit import Circuit
+from ..exceptions import GraphError
+
+__all__ = ["IIG", "build_iig"]
+
+
+class IIG:
+    """Weighted undirected interaction graph over logical qubits.
+
+    Built incrementally with :meth:`add_interaction`; typically constructed
+    by :func:`build_iig` from a circuit in one pass over its gates.
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 0:
+            raise GraphError("num_qubits must be non-negative")
+        self._num_qubits = num_qubits
+        # adjacency[i][j] = w(e_ij); symmetric, no self loops.
+        self._adjacency: list[dict[int, int]] = [dict() for _ in range(num_qubits)]
+        self._total_weight = 0
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of logical qubits (graph nodes)."""
+        return self._num_qubits
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct interacting pairs."""
+        return sum(len(adj) for adj in self._adjacency) // 2
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all edge weights (= number of two-qubit operations)."""
+        return self._total_weight
+
+    def add_interaction(self, qubit_a: int, qubit_b: int, weight: int = 1) -> None:
+        """Record ``weight`` two-qubit operations between the two qubits."""
+        if qubit_a == qubit_b:
+            raise GraphError("IIG has no self-loops (one-qubit ops excluded)")
+        for qubit in (qubit_a, qubit_b):
+            if not 0 <= qubit < self._num_qubits:
+                raise GraphError(f"qubit index {qubit} out of range")
+        if weight <= 0:
+            raise GraphError(f"interaction weight must be positive, got {weight}")
+        self._adjacency[qubit_a][qubit_b] = (
+            self._adjacency[qubit_a].get(qubit_b, 0) + weight
+        )
+        self._adjacency[qubit_b][qubit_a] = (
+            self._adjacency[qubit_b].get(qubit_a, 0) + weight
+        )
+        self._total_weight += weight
+
+    def degree(self, qubit: int) -> int:
+        """``M_i``: number of distinct interaction partners of the qubit."""
+        self._check(qubit)
+        return len(self._adjacency[qubit])
+
+    def weight(self, qubit_a: int, qubit_b: int) -> int:
+        """``w(e_ij)``; zero when the qubits never interact."""
+        self._check(qubit_a)
+        self._check(qubit_b)
+        return self._adjacency[qubit_a].get(qubit_b, 0)
+
+    def adjacent_weight_sum(self, qubit: int) -> int:
+        """``sum_j w(e_ij)`` over the qubit's IIG neighbours."""
+        self._check(qubit)
+        return sum(self._adjacency[qubit].values())
+
+    def neighbors(self, qubit: int) -> tuple[int, ...]:
+        """Interaction partners of the qubit."""
+        self._check(qubit)
+        return tuple(self._adjacency[qubit])
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate ``(i, j, weight)`` with ``i < j`` once per edge."""
+        for i, adj in enumerate(self._adjacency):
+            for j, weight in adj.items():
+                if i < j:
+                    yield (i, j, weight)
+
+    def _check(self, qubit: int) -> None:
+        if not 0 <= qubit < self._num_qubits:
+            raise GraphError(f"qubit index {qubit} out of range")
+
+    def to_networkx(self):
+        """Export as a weighted ``networkx.Graph``."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._num_qubits))
+        graph.add_weighted_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"IIG(qubits={self._num_qubits}, edges={self.num_edges}, "
+            f"total_weight={self._total_weight})"
+        )
+
+
+def build_iig(circuit: Circuit) -> IIG:
+    """Build the IIG of a circuit in one pass.
+
+    Every two-qubit gate contributes weight 1 to the edge between its two
+    operands.  For FT circuits that means exactly the CNOTs; for synthesis-
+    level circuits any gate of arity 2 counts (gates of arity >= 3 would be
+    decomposed before LEQA runs and are ignored here with their pairwise
+    interactions unspecified — pass FT circuits for paper-faithful use).
+    """
+    iig = IIG(circuit.num_qubits)
+    # Hot loop: inlined adjacency update (same effect as add_interaction
+    # with weight 1, minus per-call validation — operands were validated
+    # at circuit construction).
+    adjacency = iig._adjacency
+    total = 0
+    for gate in circuit:
+        if len(gate.controls) + len(gate.targets) == 2:
+            qubit_a, qubit_b = gate.controls + gate.targets
+            row_a = adjacency[qubit_a]
+            row_a[qubit_b] = row_a.get(qubit_b, 0) + 1
+            row_b = adjacency[qubit_b]
+            row_b[qubit_a] = row_b.get(qubit_a, 0) + 1
+            total += 1
+    iig._total_weight += total
+    return iig

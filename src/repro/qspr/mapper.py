@@ -1,0 +1,149 @@
+"""QSPR mapper facade: the paper's detailed baseline in one call.
+
+:class:`QSPRMapper` bundles placement, routing and scheduling into the
+interface the benches use: hand it an FT circuit, get back a
+:class:`MappingResult` carrying the "actual" latency (the ground truth of
+the paper's Table 2) plus wall-clock runtime (Table 3's yardstick).
+
+The original QSPR is the authors' closed-source Java tool (paper ref
+[20]); this is a faithful *class* reproduction of its role — detailed
+scheduling, placement and routing of every qubit movement on the tiled
+architecture — not a line-by-line port.  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from ..exceptions import MappingError
+from ..fabric.params import DEFAULT_PARAMS, PhysicalParams
+from ..fabric.tqa import TQA
+from ..qodg.iig import build_iig
+from .placement import make_placement
+from .scheduling import ScheduleResult, schedule_circuit
+
+__all__ = ["MappingResult", "QSPRMapper", "map_circuit"]
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of a detailed mapping run.
+
+    Attributes
+    ----------
+    schedule:
+        Full :class:`~repro.qspr.scheduling.ScheduleResult` (latency,
+        per-op finish times, movement statistics).
+    placement_strategy:
+        The initial-placement strategy used.
+    qubit_count / op_count:
+        Size of the mapped circuit.
+    elapsed_seconds:
+        Wall-clock time the mapper took (placement + scheduling +
+        routing) — the quantity Table 3 compares against LEQA's runtime.
+    """
+
+    schedule: ScheduleResult
+    placement_strategy: str
+    qubit_count: int
+    op_count: int
+    elapsed_seconds: float
+
+    @property
+    def latency(self) -> float:
+        """Actual latency in microseconds."""
+        return self.schedule.latency
+
+    @property
+    def latency_seconds(self) -> float:
+        """Actual latency in seconds (Table 2's unit)."""
+        return self.schedule.latency_seconds
+
+
+class QSPRMapper:
+    """Detailed scheduling/placement/routing mapper.
+
+    Parameters
+    ----------
+    params:
+        Physical parameters (Table 1 defaults).
+    placement:
+        Initial-placement strategy name
+        (see :data:`repro.qspr.placement.PLACEMENT_STRATEGIES`).
+    routing:
+        Routing mode, ``"maze"`` (congestion-aware, default) or ``"xy"``
+        (see :data:`repro.qspr.routing.ROUTING_MODES`).
+    seed:
+        Seed for the ``random`` placement strategy.
+    record_trace:
+        Record the full per-operation execution trace
+        (see :mod:`repro.qspr.trace`).
+    scheduling:
+        Operation visit order, ``"program"`` (default) or ``"alap"``
+        (list scheduling by ALAP priority).
+    """
+
+    def __init__(
+        self,
+        params: PhysicalParams = DEFAULT_PARAMS,
+        placement: str = "iig_greedy",
+        routing: str = "maze",
+        seed: int = 0,
+        record_trace: bool = False,
+        scheduling: str = "program",
+    ) -> None:
+        self._params = params
+        self._placement = placement
+        self._routing = routing
+        self._seed = seed
+        self._record_trace = record_trace
+        self._scheduling = scheduling
+
+    @property
+    def params(self) -> PhysicalParams:
+        """The physical parameter set in use."""
+        return self._params
+
+    def map(self, circuit: Circuit) -> MappingResult:
+        """Map an FT circuit onto the TQA and measure its actual latency."""
+        if not circuit.is_ft():
+            raise MappingError(
+                "the mapper requires a fault-tolerant circuit; run "
+                "synthesize_ft() first"
+            )
+        started = time.perf_counter()
+        iig = build_iig(circuit)
+        tqa = TQA(self._params.fabric)
+        placement = make_placement(self._placement, iig, tqa, seed=self._seed)
+        schedule = schedule_circuit(
+            circuit,
+            placement,
+            self._params,
+            routing_mode=self._routing,
+            record_trace=self._record_trace,
+            order=self._scheduling,
+        )
+        elapsed = time.perf_counter() - started
+        return MappingResult(
+            schedule=schedule,
+            placement_strategy=self._placement,
+            qubit_count=circuit.num_qubits,
+            op_count=len(circuit),
+            elapsed_seconds=elapsed,
+        )
+
+
+def map_circuit(
+    circuit: Circuit,
+    params: PhysicalParams = DEFAULT_PARAMS,
+    placement: str = "iig_greedy",
+    routing: str = "maze",
+    seed: int = 0,
+) -> MappingResult:
+    """One-shot convenience wrapper around :class:`QSPRMapper`."""
+    mapper = QSPRMapper(
+        params=params, placement=placement, routing=routing, seed=seed
+    )
+    return mapper.map(circuit)

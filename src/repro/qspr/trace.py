@@ -1,0 +1,172 @@
+"""Schedule traces: the mapper's per-operation execution record.
+
+The paper notes that detailed mappers "produce the mapping solution with
+the details of every qubit movement" — information that is excessive for
+latency estimation but exactly what an architect debugging a fabric wants.
+This module captures it: one :class:`TraceEvent` per executed operation
+(where it ran, when, how long its operands travelled), plus analysis and
+export helpers:
+
+* :func:`ulb_utilization` — busy fraction per ULB over the makespan,
+* :func:`busiest_ulbs` — execution hot spots,
+* :func:`qubit_travel` — channel hops per logical qubit,
+* :func:`write_csv` / :func:`to_json_records` — interchange formats.
+
+Tracing is opt-in (``QSPRMapper(..., record_trace=True)``) since a
+million-gate circuit produces a million events.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import Counter, defaultdict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..exceptions import MappingError
+from ..fabric.tqa import Position
+
+__all__ = [
+    "TraceEvent",
+    "ScheduleTrace",
+    "ulb_utilization",
+    "busiest_ulbs",
+    "qubit_travel",
+    "write_csv",
+    "to_json_records",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed operation.
+
+    Attributes
+    ----------
+    index:
+        Operation index in program order.
+    kind:
+        Gate mnemonic (e.g. ``"cnot"``).
+    qubits:
+        Logical operand qubit indices.
+    ulb:
+        ULB where the operation executed.
+    start / finish:
+        Execution window in microseconds (excludes operand travel).
+    travel_hops:
+        Channel segments crossed by the operands to reach ``ulb``.
+    travel_wait:
+        Congestion wait accumulated by the operands (µs).
+    """
+
+    index: int
+    kind: str
+    qubits: tuple[int, ...]
+    ulb: Position
+    start: float
+    finish: float
+    travel_hops: int
+    travel_wait: float
+
+    @property
+    def duration(self) -> float:
+        """Execution time (µs)."""
+        return self.finish - self.start
+
+
+class ScheduleTrace:
+    """Ordered collection of :class:`TraceEvent` with summary queries."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self._events = list(events)
+        for earlier, later in zip(self._events, self._events[1:]):
+            if later.index <= earlier.index:
+                raise MappingError("trace events must be in program order")
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All events in program order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish time (µs); zero for an empty trace."""
+        return max((e.finish for e in self._events), default=0.0)
+
+    def events_on(self, ulb: Position) -> list[TraceEvent]:
+        """Events executed on one ULB."""
+        return [e for e in self._events if e.ulb == ulb]
+
+    def events_touching(self, qubit: int) -> list[TraceEvent]:
+        """Events whose operand set includes the qubit."""
+        return [e for e in self._events if qubit in e.qubits]
+
+
+def ulb_utilization(trace: ScheduleTrace) -> dict[Position, float]:
+    """Busy fraction of each used ULB over the trace's makespan.
+
+    Execution windows on one ULB never overlap (the scheduler serializes
+    per ULB), so the busy time is a plain sum of durations.
+    """
+    makespan = trace.makespan
+    if makespan <= 0:
+        return {}
+    busy: dict[Position, float] = defaultdict(float)
+    for event in trace:
+        busy[event.ulb] += event.duration
+    return {ulb: total / makespan for ulb, total in busy.items()}
+
+
+def busiest_ulbs(
+    trace: ScheduleTrace, count: int = 10
+) -> list[tuple[Position, int]]:
+    """The ``count`` ULBs executing the most operations."""
+    counts: Counter[Position] = Counter(e.ulb for e in trace)
+    return counts.most_common(count)
+
+
+def qubit_travel(trace: ScheduleTrace) -> dict[int, int]:
+    """Total channel hops charged to each logical qubit's operations.
+
+    A CNOT's hops are attributed to both operands (the trace records the
+    combined operand travel per event).
+    """
+    travel: dict[int, int] = defaultdict(int)
+    for event in trace:
+        for qubit in event.qubits:
+            travel[qubit] += event.travel_hops
+    return dict(travel)
+
+
+def to_json_records(trace: ScheduleTrace) -> str:
+    """Serialize the trace as a JSON array of event objects."""
+    return json.dumps([asdict(event) for event in trace], indent=2)
+
+
+def write_csv(trace: ScheduleTrace, destination: TextIO | str | Path) -> None:
+    """Write the trace as CSV (one row per event)."""
+    if isinstance(destination, (str, Path)):
+        with Path(destination).open("w", encoding="utf-8", newline="") as f:
+            write_csv(trace, f)
+        return
+    writer = csv.writer(destination)
+    writer.writerow(
+        ["index", "kind", "qubits", "ulb_x", "ulb_y", "start", "finish",
+         "travel_hops", "travel_wait"]
+    )
+    for e in trace:
+        writer.writerow(
+            [e.index, e.kind, " ".join(map(str, e.qubits)), e.ulb[0],
+             e.ulb[1], e.start, e.finish, e.travel_hops, e.travel_wait]
+        )

@@ -1,0 +1,155 @@
+"""Unit tests for the Circuit container (repro.circuits.circuit)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import GateKind, cnot, h, t, toffoli, x
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_default_qubit_names(self):
+        circuit = Circuit(3)
+        assert circuit.qubit_names == ("q0", "q1", "q2")
+
+    def test_explicit_qubit_names(self):
+        circuit = Circuit(2, qubit_names=["alice", "bob"])
+        assert circuit.qubit_index("bob") == 1
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(CircuitError, match="entries"):
+            Circuit(3, qubit_names=["a", "b"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CircuitError, match="distinct"):
+            Circuit(2, qubit_names=["a", "a"])
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(-1)
+
+    def test_zero_qubits_allowed(self):
+        assert Circuit(0).num_qubits == 0
+
+
+class TestQubitManagement:
+    def test_add_qubit_returns_new_index(self):
+        circuit = Circuit(2)
+        assert circuit.add_qubit("anc") == 2
+        assert circuit.num_qubits == 3
+
+    def test_add_qubit_default_name_avoids_collisions(self):
+        circuit = Circuit(0, qubit_names=[])
+        circuit.add_qubit("q1")
+        index = circuit.add_qubit()  # default would be q1, must skip
+        assert circuit.qubit_names[index] != "q1"
+        assert len(set(circuit.qubit_names)) == circuit.num_qubits
+
+    def test_add_duplicate_name_rejected(self):
+        circuit = Circuit(1)
+        with pytest.raises(CircuitError, match="duplicate"):
+            circuit.add_qubit("q0")
+
+    def test_qubit_index_unknown_raises(self):
+        with pytest.raises(CircuitError, match="unknown qubit"):
+            Circuit(1).qubit_index("zz")
+
+    def test_has_qubit(self):
+        circuit = Circuit(1)
+        assert circuit.has_qubit("q0")
+        assert not circuit.has_qubit("q1")
+
+
+class TestGateManagement:
+    def test_append_and_iteration_preserve_order(self):
+        circuit = Circuit(2)
+        gates = [h(0), cnot(0, 1), t(1)]
+        circuit.extend(gates)
+        assert list(circuit) == gates
+        assert circuit[1] == cnot(0, 1)
+        assert len(circuit) == 3
+
+    def test_append_out_of_range_qubit_rejected(self):
+        circuit = Circuit(2)
+        with pytest.raises(CircuitError, match="references qubit"):
+            circuit.append(cnot(0, 2))
+
+    def test_gates_tuple_is_stable_after_append(self):
+        circuit = Circuit(2)
+        circuit.append(h(0))
+        first = circuit.gates
+        circuit.append(h(1))
+        assert len(first) == 1
+        assert len(circuit.gates) == 2
+
+    def test_equality(self):
+        c1, c2 = Circuit(2), Circuit(2)
+        for c in (c1, c2):
+            c.append(cnot(0, 1))
+        assert c1 == c2
+        c2.append(h(0))
+        assert c1 != c2
+
+
+class TestStats:
+    def test_counts_by_kind(self):
+        circuit = Circuit(3)
+        circuit.extend([h(0), h(1), cnot(0, 1), toffoli(0, 1, 2)])
+        stats = circuit.stats()
+        assert stats.counts_by_kind[GateKind.H] == 2
+        assert stats.counts_by_kind[GateKind.CNOT] == 1
+        assert stats.two_qubit_count == 1
+        assert stats.gate_count == 4
+        assert stats.qubit_count == 3
+        assert not stats.is_ft  # the Toffoli
+
+    def test_is_ft_true_for_ft_circuit(self, tiny_ft_circuit):
+        assert tiny_ft_circuit.is_ft()
+        assert tiny_ft_circuit.stats().is_ft
+
+    def test_count_kind(self, tiny_ft_circuit):
+        assert tiny_ft_circuit.count_kind(GateKind.CNOT) == 2
+
+    def test_active_qubits_excludes_idle(self):
+        circuit = Circuit(4)
+        circuit.append(cnot(0, 2))
+        assert circuit.active_qubits() == {0, 2}
+
+    def test_one_qubit_ft_histogram(self, tiny_ft_circuit):
+        histogram = tiny_ft_circuit.one_qubit_ft_histogram()
+        assert histogram[GateKind.H] == 1
+        assert histogram[GateKind.T] == 1
+        assert GateKind.CNOT not in histogram
+
+
+class TestCopyAndCompose:
+    def test_copy_is_independent(self, tiny_ft_circuit):
+        clone = tiny_ft_circuit.copy()
+        clone.append(x(1))
+        assert len(clone) == len(tiny_ft_circuit) + 1
+
+    def test_copy_can_rename(self, tiny_ft_circuit):
+        assert tiny_ft_circuit.copy(name="other").name == "other"
+
+    def test_reversed_reverses_gate_order(self):
+        circuit = Circuit(2)
+        circuit.extend([h(0), cnot(0, 1)])
+        assert list(circuit.reversed()) == [cnot(0, 1), h(0)]
+
+    def test_concatenation(self):
+        c1, c2 = Circuit(2), Circuit(2)
+        c1.append(h(0))
+        c2.append(cnot(0, 1))
+        combined = c1 + c2
+        assert list(combined) == [h(0), cnot(0, 1)]
+
+    def test_concatenation_register_mismatch_rejected(self):
+        with pytest.raises(CircuitError, match="identical qubit registers"):
+            Circuit(2) + Circuit(3)
+
+    def test_repr_mentions_name_and_sizes(self, tiny_ft_circuit):
+        text = repr(tiny_ft_circuit)
+        assert "tiny" in text
+        assert "3" in text

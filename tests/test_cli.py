@@ -1,0 +1,128 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generators import ripple_adder
+from repro.circuits.parser import write_qasm_lite, write_real
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestEstimate:
+    def test_named_benchmark(self, capsys):
+        code, out, _ = run_cli(capsys, "estimate", "ham3")
+        assert code == 0
+        assert "estimated latency" in out
+        assert "L_CNOT^avg" in out
+
+    def test_ft_synthesis_applied_to_raw_benchmarks(self, capsys):
+        code, out, _ = run_cli(capsys, "estimate", "8bitadder")
+        assert code == 0
+        assert "operations" in out
+
+    def test_custom_fabric(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "ham3", "--width", "10", "--height", "10"
+        )
+        assert code == 0
+
+    def test_exact_sq_series(self, capsys):
+        code, _, _ = run_cli(capsys, "estimate", "ham3", "--max-sq-terms", "0")
+        assert code == 0
+
+    def test_real_file_input(self, capsys, tmp_path):
+        path = tmp_path / "adder.real"
+        write_real(ripple_adder(2), path)
+        code, out, _ = run_cli(capsys, "estimate", str(path))
+        assert code == 0
+        assert "adder" in out
+
+    def test_qasm_lite_file_input(self, capsys, tmp_path):
+        path = tmp_path / "adder.qasm"
+        write_qasm_lite(ripple_adder(2), path)
+        code, _, _ = run_cli(capsys, "estimate", str(path))
+        assert code == 0
+
+    def test_unknown_source_fails_gracefully(self, capsys):
+        code, _, err = run_cli(capsys, "estimate", "no_such_benchmark")
+        assert code == 1
+        assert "error:" in err
+
+
+class TestMap:
+    def test_named_benchmark(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "map", "ham3", "--width", "10", "--height", "10"
+        )
+        assert code == 0
+        assert "actual latency" in out
+        assert "qubit moves" in out
+
+    def test_placement_and_routing_flags(self, capsys):
+        code, _, _ = run_cli(
+            capsys,
+            "map", "ham3",
+            "--placement", "row_major",
+            "--routing", "xy",
+            "--width", "10", "--height", "10",
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_reports_error_and_speedup(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "compare", "ham3", "--width", "10", "--height", "10"
+        )
+        assert code == 0
+        assert "absolute error" in out
+        assert "speedup" in out
+
+
+class TestHeatmap:
+    def test_coverage_heatmap(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "heatmap", "ham3", "--width", "10", "--height", "10"
+        )
+        assert code == 0
+        assert "coverage probability" in out
+        assert "scale:" in out
+
+    def test_utilization_heatmap(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "heatmap", "ham3",
+            "--kind", "utilization",
+            "--width", "10", "--height", "10",
+        )
+        assert code == 0
+        assert "utilization" in out
+
+    def test_congestion_heatmap(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "heatmap", "ham3",
+            "--kind", "congestion",
+            "--width", "10", "--height", "10",
+        )
+        assert code == 0
+        assert "operand hops" in out
+
+
+class TestBenchmarks:
+    def test_lists_registry(self, capsys):
+        code, out, _ = run_cli(capsys, "benchmarks")
+        assert code == 0
+        assert "gf2^256mult" in out
+        assert "hwb15ps" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,163 @@
+"""Unit tests for coverage statistics (repro.core.coverage, Eqs. 4-5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import (
+    coverage_probability,
+    coverage_probability_histogram,
+    expected_coverage_surface,
+    expected_coverage_surfaces,
+    zone_side,
+)
+from repro.exceptions import EstimationError
+
+
+class TestZoneSide:
+    def test_ceil_of_sqrt(self):
+        assert zone_side(9.0) == 3
+        assert zone_side(10.0) == 4
+        assert zone_side(1.0) == 1
+        assert zone_side(0.5) == 1
+
+    def test_clamped_to_fabric(self):
+        assert zone_side(100.0, fabric_extent=6) == 6
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(EstimationError):
+            zone_side(0.0)
+
+
+class TestCoverageProbability:
+    def test_eq5_interior_hand_computed(self):
+        # 10x10 fabric, B=9 -> s=3. Center ULB (5,5):
+        # numerator = min(5,6,3,8)^2 = 9; denominator = 8*8 = 64.
+        assert coverage_probability(5, 5, 10, 10, 9.0) == pytest.approx(9 / 64)
+
+    def test_eq5_corner_hand_computed(self):
+        # Corner (1,1): numerator = min(1,10,3,8)^2 = 1.
+        assert coverage_probability(1, 1, 10, 10, 9.0) == pytest.approx(1 / 64)
+
+    def test_edge_cell(self):
+        # (1,5): 1 * 3 / 64.
+        assert coverage_probability(1, 5, 10, 10, 9.0) == pytest.approx(3 / 64)
+
+    def test_symmetry(self):
+        for (x, y) in [(2, 3), (4, 7)]:
+            a = b = 12
+            p1 = coverage_probability(x, y, a, b, 4.0)
+            p2 = coverage_probability(a - x + 1, b - y + 1, a, b, 4.0)
+            assert p1 == pytest.approx(p2)
+
+    def test_zone_covering_whole_fabric_gives_one(self):
+        for x in range(1, 5):
+            assert coverage_probability(x, 2, 4, 4, 16.0) == 1.0
+
+    def test_unit_zone_uniform(self):
+        # s=1: every ULB covered with probability 1/A.
+        assert coverage_probability(3, 3, 5, 5, 1.0) == pytest.approx(1 / 25)
+
+    def test_probability_bounds(self):
+        for x in range(1, 11):
+            for y in range(1, 11):
+                p = coverage_probability(x, y, 10, 10, 6.0)
+                assert 0.0 < p <= 1.0
+
+    def test_off_fabric_rejected(self):
+        with pytest.raises(EstimationError, match="outside"):
+            coverage_probability(0, 1, 10, 10, 4.0)
+        with pytest.raises(EstimationError, match="outside"):
+            coverage_probability(1, 11, 10, 10, 4.0)
+
+
+class TestHistogram:
+    def test_counts_sum_to_area(self):
+        values, counts = coverage_probability_histogram(10, 8, 9.0)
+        assert counts.sum() == 80
+
+    def test_matches_direct_enumeration(self):
+        a, b, area = 9, 7, 5.0
+        values, counts = coverage_probability_histogram(a, b, area)
+        direct = {}
+        for x in range(1, a + 1):
+            for y in range(1, b + 1):
+                p = coverage_probability(x, y, a, b, area)
+                direct[round(p, 12)] = direct.get(round(p, 12), 0) + 1
+        assert len(values) == len(direct)
+        for value, count in zip(values, counts):
+            assert direct[round(float(value), 12)] == count
+
+    def test_expected_coverage_mass_is_b_per_zone(self):
+        # sum_xy P_xy = expected covered area of one zone = s^2.
+        a, b, area = 12, 12, 9.0
+        values, counts = coverage_probability_histogram(a, b, area)
+        side = zone_side(area)
+        assert float(np.dot(values, counts)) == pytest.approx(side * side)
+
+
+class TestExpectedSurfaces:
+    def test_eq3_identity_sum_over_all_q_is_area(self):
+        # sum_{q=0..Q} E[S_q] = A.
+        Q, a, b, area = 12, 9, 8, 4.0
+        surfaces = expected_coverage_surfaces(Q, a, b, area, max_terms=None)
+        s0 = expected_coverage_surface(0, Q, a, b, area)
+        assert s0 + sum(surfaces) == pytest.approx(a * b)
+
+    def test_truncation_is_a_prefix_of_the_full_series(self):
+        Q, a, b, area = 15, 10, 10, 6.0
+        full = expected_coverage_surfaces(Q, a, b, area, max_terms=None)
+        short = expected_coverage_surfaces(Q, a, b, area, max_terms=5)
+        assert len(short) == 5
+        assert short == pytest.approx(full[:5])
+
+    def test_max_terms_capped_by_q(self):
+        surfaces = expected_coverage_surfaces(3, 10, 10, 4.0, max_terms=20)
+        assert len(surfaces) == 3
+
+    def test_surfaces_are_non_negative(self):
+        surfaces = expected_coverage_surfaces(40, 20, 20, 9.0, max_terms=None)
+        assert all(s >= 0 for s in surfaces)
+
+    def test_single_zone(self):
+        # Q=1: E[S_1] = sum_xy P_xy = s^2.
+        surfaces = expected_coverage_surfaces(1, 10, 10, 9.0)
+        assert surfaces == [pytest.approx(9.0)]
+
+    def test_whole_fabric_zones_all_overlap_everywhere(self):
+        # B >= A: every zone covers everything, E[S_Q] = A, others 0.
+        Q, a, b = 4, 3, 3
+        surfaces = expected_coverage_surfaces(Q, a, b, 9.0, max_terms=None)
+        assert surfaces[-1] == pytest.approx(9.0)
+        assert sum(surfaces[:-1]) == pytest.approx(0.0)
+
+    def test_large_q_numerically_stable(self):
+        # 3000 zones: log-space binomials must not overflow.
+        surfaces = expected_coverage_surfaces(3000, 60, 60, 10.0)
+        assert all(math.isfinite(s) for s in surfaces)
+        assert all(s >= 0 for s in surfaces)
+
+    def test_matches_naive_binomial_small_case(self):
+        # Direct evaluation with exact binomials on a tiny fabric.
+        from math import comb
+
+        Q, a, b, area = 6, 4, 4, 4.0
+        expected = [0.0] * Q
+        for q in range(1, Q + 1):
+            total = 0.0
+            for x in range(1, a + 1):
+                for y in range(1, b + 1):
+                    p = coverage_probability(x, y, a, b, area)
+                    total += comb(Q, q) * p**q * (1 - p) ** (Q - q)
+            expected[q - 1] = total
+        surfaces = expected_coverage_surfaces(Q, a, b, area, max_terms=None)
+        assert surfaces == pytest.approx(expected)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(EstimationError):
+            expected_coverage_surfaces(0, 10, 10, 4.0)
+        with pytest.raises(EstimationError):
+            expected_coverage_surface(5, 4, 10, 10, 4.0)  # overlap > Q

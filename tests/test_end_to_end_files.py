@@ -1,0 +1,84 @@
+"""End-to-end workflows through the file formats.
+
+A downstream user's path: author or export a netlist, read it back,
+synthesize, estimate and map — all through public API surface only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DEFAULT_PARAMS,
+    LEQAEstimator,
+    QSPRMapper,
+    build,
+    read_real,
+    synthesize_ft,
+)
+from repro.circuits.parser import write_qasm_lite, write_real, read_qasm_lite
+from repro.fabric.params import FabricSpec, PhysicalParams
+
+
+@pytest.fixture
+def params():
+    return PhysicalParams(fabric=FabricSpec(12, 12))
+
+
+class TestRealFileWorkflow:
+    def test_export_reimport_estimate_map(self, tmp_path, params):
+        # Export a generated benchmark to .real, read it back, run both
+        # tools; results must match the in-memory pipeline.
+        original = build("8bitadder")
+        path = tmp_path / "adder.real"
+        write_real(original, path)
+        reloaded = read_real(path)
+        ft_original = synthesize_ft(original)
+        ft_reloaded = synthesize_ft(reloaded)
+        estimator = LEQAEstimator(params=params)
+        assert estimator.estimate(ft_reloaded).latency == pytest.approx(
+            estimator.estimate(ft_original).latency
+        )
+        mapper = QSPRMapper(params=params)
+        assert mapper.map(ft_reloaded).latency == pytest.approx(
+            mapper.map(ft_original).latency
+        )
+
+    def test_ft_netlist_via_qasm_lite(self, tmp_path, params):
+        # FT netlists round-trip through qasm-lite (the .real format has
+        # no H/T vocabulary).
+        ft = synthesize_ft(build("8bitadder"))
+        path = tmp_path / "adder_ft.qasm"
+        write_qasm_lite(ft, path)
+        reloaded = read_qasm_lite(path)
+        assert reloaded.is_ft()
+        estimator = LEQAEstimator(params=params)
+        assert estimator.estimate(reloaded).latency == pytest.approx(
+            estimator.estimate(ft).latency
+        )
+
+
+class TestPublicApiSurface:
+    def test_top_level_namespace_complete(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_present(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_default_params_singleton_equality(self):
+        from repro import DEFAULT_PARAMS as again
+
+        assert again == DEFAULT_PARAMS
+
+    def test_quickstart_snippet_from_readme(self):
+        # The README's quickstart must actually run.
+        from repro import build_ft, estimate_latency
+
+        circuit = build_ft("ham3")
+        estimate = estimate_latency(circuit)
+        assert estimate.latency_seconds > 0

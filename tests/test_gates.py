@@ -1,0 +1,207 @@
+"""Unit tests for the gate model (repro.circuits.gates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.gates import (
+    FT_KINDS,
+    Gate,
+    GateKind,
+    KIND_ALIASES,
+    ONE_QUBIT_FT_KINDS,
+    cnot,
+    fredkin,
+    h,
+    kind_from_name,
+    mcf,
+    mct,
+    s,
+    sdg,
+    swap,
+    t,
+    tdg,
+    toffoli,
+    x,
+    y,
+    z,
+)
+from repro.exceptions import CircuitError
+
+
+class TestGateKindSets:
+    def test_one_qubit_ft_kinds_has_eight_members(self):
+        assert len(ONE_QUBIT_FT_KINDS) == 8
+
+    def test_ft_set_is_one_qubit_kinds_plus_cnot(self):
+        assert FT_KINDS == ONE_QUBIT_FT_KINDS | {GateKind.CNOT}
+
+    def test_cnot_is_the_only_two_qubit_ft_kind(self):
+        two_qubit = [k for k in FT_KINDS if k not in ONE_QUBIT_FT_KINDS]
+        assert two_qubit == [GateKind.CNOT]
+
+
+class TestKindFromName:
+    @pytest.mark.parametrize("name,kind", [
+        ("h", GateKind.H),
+        ("cnot", GateKind.CNOT),
+        ("tdg", GateKind.TDG),
+        ("toffoli", GateKind.TOFFOLI),
+    ])
+    def test_canonical_names(self, name, kind):
+        assert kind_from_name(name) is kind
+
+    @pytest.mark.parametrize("alias,kind", [
+        ("not", GateKind.X),
+        ("cx", GateKind.CNOT),
+        ("ccx", GateKind.TOFFOLI),
+        ("t+", GateKind.T),
+        ("t-", GateKind.TDG),
+        ("cswap", GateKind.FREDKIN),
+    ])
+    def test_aliases(self, alias, kind):
+        assert kind_from_name(alias) is kind
+
+    def test_case_and_whitespace_insensitive(self):
+        assert kind_from_name("  CNOT ") is GateKind.CNOT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CircuitError, match="unknown gate mnemonic"):
+            kind_from_name("qft")
+
+    def test_all_aliases_resolve(self):
+        for alias, kind in KIND_ALIASES.items():
+            assert kind_from_name(alias) is kind
+
+
+class TestGateConstruction:
+    def test_one_qubit_constructors(self):
+        for ctor, kind in [
+            (x, GateKind.X), (y, GateKind.Y), (z, GateKind.Z),
+            (h, GateKind.H), (s, GateKind.S), (sdg, GateKind.SDG),
+            (t, GateKind.T), (tdg, GateKind.TDG),
+        ]:
+            gate = ctor(3)
+            assert gate.kind is kind
+            assert gate.controls == ()
+            assert gate.targets == (3,)
+            assert gate.arity == 1
+            assert gate.is_ft
+
+    def test_cnot_shape(self):
+        gate = cnot(1, 2)
+        assert gate.controls == (1,)
+        assert gate.targets == (2,)
+        assert gate.is_two_qubit_ft
+
+    def test_toffoli_shape(self):
+        gate = toffoli(0, 1, 2)
+        assert gate.controls == (0, 1)
+        assert gate.targets == (2,)
+        assert not gate.is_ft
+
+    def test_fredkin_shape(self):
+        gate = fredkin(0, 1, 2)
+        assert gate.controls == (0,)
+        assert gate.targets == (1, 2)
+
+    def test_swap_shape(self):
+        gate = swap(4, 5)
+        assert gate.controls == ()
+        assert gate.targets == (4, 5)
+
+    def test_qubits_property_orders_controls_then_targets(self):
+        assert toffoli(5, 3, 1).qubits == (5, 3, 1)
+
+    def test_iter_qubits_matches_qubits(self):
+        gate = fredkin(2, 7, 4)
+        assert tuple(gate.iter_qubits()) == gate.qubits
+
+
+class TestGateValidation:
+    def test_cnot_same_control_target_rejected(self):
+        with pytest.raises(CircuitError, match="distinct"):
+            cnot(1, 1)
+
+    def test_toffoli_duplicate_controls_rejected(self):
+        with pytest.raises(CircuitError, match="distinct"):
+            toffoli(1, 1, 2)
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(CircuitError, match="non-negative"):
+            Gate(GateKind.X, (), (-1,))
+
+    def test_bool_qubit_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate(GateKind.X, (), (True,))
+
+    def test_wrong_arity_one_qubit(self):
+        with pytest.raises(CircuitError, match="requires"):
+            Gate(GateKind.H, (0,), (1,))
+
+    def test_wrong_arity_cnot(self):
+        with pytest.raises(CircuitError, match="requires"):
+            Gate(GateKind.CNOT, (), (0,))
+
+    def test_mct_requires_three_controls(self):
+        with pytest.raises(CircuitError, match="MCT requires"):
+            Gate(GateKind.MCT, (0, 1), (2,))
+
+    def test_mcf_requires_two_controls(self):
+        with pytest.raises(CircuitError, match="MCF requires"):
+            Gate(GateKind.MCF, (0,), (1, 2))
+
+
+class TestMctMcfDegradation:
+    def test_mct_zero_controls_is_x(self):
+        assert mct((), 5).kind is GateKind.X
+
+    def test_mct_one_control_is_cnot(self):
+        gate = mct((1,), 5)
+        assert gate.kind is GateKind.CNOT
+        assert gate.controls == (1,)
+
+    def test_mct_two_controls_is_toffoli(self):
+        assert mct((1, 2), 5).kind is GateKind.TOFFOLI
+
+    def test_mct_three_controls_is_mct(self):
+        gate = mct((1, 2, 3), 5)
+        assert gate.kind is GateKind.MCT
+        assert gate.arity == 4
+
+    def test_mcf_zero_controls_is_swap(self):
+        assert mcf((), 1, 2).kind is GateKind.SWAP
+
+    def test_mcf_one_control_is_fredkin(self):
+        assert mcf((0,), 1, 2).kind is GateKind.FREDKIN
+
+    def test_mcf_two_controls_is_mcf(self):
+        assert mcf((0, 3), 1, 2).kind is GateKind.MCF
+
+
+class TestGateRemapped:
+    def test_remap_changes_mapped_qubits(self):
+        gate = toffoli(0, 1, 2).remapped({0: 10, 2: 20})
+        assert gate.controls == (10, 1)
+        assert gate.targets == (20,)
+
+    def test_remap_preserves_kind(self):
+        assert cnot(0, 1).remapped({0: 5}).kind is GateKind.CNOT
+
+    def test_remap_collision_rejected(self):
+        with pytest.raises(CircuitError, match="distinct"):
+            cnot(0, 1).remapped({0: 1})
+
+
+class TestGateValueSemantics:
+    def test_equal_gates_compare_equal(self):
+        assert cnot(0, 1) == cnot(0, 1)
+
+    def test_different_operands_compare_unequal(self):
+        assert cnot(0, 1) != cnot(1, 0)
+
+    def test_gates_are_hashable(self):
+        assert len({cnot(0, 1), cnot(0, 1), cnot(1, 0)}) == 2
+
+    def test_str_is_informative(self):
+        assert "cnot" in str(cnot(0, 1))

@@ -1,0 +1,125 @@
+"""Unit tests for GF(2) polynomial arithmetic (repro.circuits.gf2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.gf2 import (
+    find_irreducible,
+    is_irreducible,
+    poly_degree,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_mulmod,
+    poly_pow_x,
+    reduction_table,
+)
+from repro.exceptions import CircuitError
+
+
+class TestPolyBasics:
+    def test_degree(self):
+        assert poly_degree(0) == -1
+        assert poly_degree(1) == 0
+        assert poly_degree(0b1011) == 3
+
+    def test_mul_is_carry_free(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2).
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    def test_mul_by_zero(self):
+        assert poly_mul(0b1101, 0) == 0
+
+    def test_mod_reduces_degree(self):
+        # x^3 mod (x^2 + x + 1): x^3 = x*x^2 = x(x+1) = x^2+x = 1.
+        assert poly_mod(0b1000, 0b111) == 0b1
+
+    def test_mod_zero_modulus_rejected(self):
+        with pytest.raises(CircuitError):
+            poly_mod(0b101, 0)
+
+    def test_mulmod_matches_mul_then_mod(self):
+        modulus = 0b10011  # x^4 + x + 1
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert poly_mulmod(a, b, modulus) == poly_mod(
+                    poly_mul(a, b), modulus
+                )
+
+    def test_gcd(self):
+        # gcd(x^2 + x, x) = x.
+        assert poly_gcd(0b110, 0b10) == 0b10
+
+    def test_pow_x_small(self):
+        modulus = 0b111  # x^2 + x + 1, field GF(4): x^4 = x.
+        assert poly_pow_x(2, modulus) == 0b10
+
+
+class TestIrreducibility:
+    @pytest.mark.parametrize("poly", [
+        0b111,       # x^2 + x + 1
+        0b1011,      # x^3 + x + 1
+        0b10011,     # x^4 + x + 1
+        0b100101,    # x^5 + x^2 + 1
+    ])
+    def test_known_irreducible(self, poly):
+        assert is_irreducible(poly)
+
+    @pytest.mark.parametrize("poly", [
+        0b101,     # x^2 + 1 = (x+1)^2
+        0b110,     # x^2 + x = x(x+1)
+        0b1111,    # x^3+x^2+x+1 = (x+1)(x^2+1)
+    ])
+    def test_known_reducible(self, poly):
+        assert not is_irreducible(poly)
+
+    def test_degree_one_is_irreducible(self):
+        assert is_irreducible(0b10)
+        assert is_irreducible(0b11)
+
+    def test_constants_are_not(self):
+        assert not is_irreducible(1)
+        assert not is_irreducible(0)
+
+
+class TestFindIrreducible:
+    @pytest.mark.parametrize("degree", [2, 3, 4, 5, 8, 15, 16, 20])
+    def test_found_polynomial_is_irreducible_of_right_degree(self, degree):
+        poly = find_irreducible(degree)
+        assert poly_degree(poly) == degree
+        assert is_irreducible(poly)
+
+    def test_degree_15_is_the_classic_trinomial(self):
+        # x^15 + x + 1 is the lowest-k irreducible trinomial of degree 15.
+        assert find_irreducible(15) == (1 << 15) | 0b11
+
+    def test_large_degrees_terminate(self):
+        for degree in (64, 128, 256):
+            poly = find_irreducible(degree)
+            assert poly_degree(poly) == degree
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(CircuitError):
+            find_irreducible(0)
+
+
+class TestReductionTable:
+    def test_low_powers_are_monomials(self):
+        table = reduction_table(4)
+        for d in range(4):
+            assert table[d] == 1 << d
+
+    def test_table_length(self):
+        assert len(reduction_table(6)) == 11  # 2n - 1
+
+    def test_entries_reduce_correctly(self):
+        modulus = find_irreducible(5)
+        table = reduction_table(5, modulus)
+        for d, entry in enumerate(table):
+            assert entry == poly_mod(1 << d, modulus)
+            assert poly_degree(entry) < 5
+
+    def test_modulus_degree_mismatch_rejected(self):
+        with pytest.raises(CircuitError, match="degree"):
+            reduction_table(4, modulus=0b111)

@@ -1,0 +1,111 @@
+"""Unit tests for the interaction intensity graph (repro.qodg.iig)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cnot, h, t, toffoli
+from repro.circuits.generators import cnot_ladder, ham3
+from repro.exceptions import GraphError
+from repro.qodg.iig import IIG, build_iig
+
+
+class TestIIGDirect:
+    def test_weights_accumulate(self):
+        iig = IIG(3)
+        iig.add_interaction(0, 1)
+        iig.add_interaction(1, 0, weight=2)
+        assert iig.weight(0, 1) == 3
+        assert iig.weight(1, 0) == 3  # undirected
+
+    def test_degree_counts_distinct_partners(self):
+        iig = IIG(4)
+        iig.add_interaction(0, 1, weight=5)
+        iig.add_interaction(0, 2)
+        assert iig.degree(0) == 2
+        assert iig.degree(3) == 0
+
+    def test_adjacent_weight_sum(self):
+        iig = IIG(3)
+        iig.add_interaction(0, 1, weight=3)
+        iig.add_interaction(0, 2, weight=4)
+        assert iig.adjacent_weight_sum(0) == 7
+        assert iig.adjacent_weight_sum(1) == 3
+
+    def test_total_weight_counts_each_edge_once(self):
+        iig = IIG(3)
+        iig.add_interaction(0, 1, weight=3)
+        iig.add_interaction(1, 2)
+        assert iig.total_weight == 4
+        assert iig.num_edges == 2
+
+    def test_neighbors(self):
+        iig = IIG(3)
+        iig.add_interaction(0, 2)
+        assert iig.neighbors(0) == (2,)
+
+    def test_edges_iterates_once_per_pair(self):
+        iig = IIG(3)
+        iig.add_interaction(0, 1, weight=2)
+        iig.add_interaction(2, 1)
+        assert sorted(iig.edges()) == [(0, 1, 2), (1, 2, 1)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loops"):
+            IIG(2).add_interaction(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            IIG(2).add_interaction(0, 5)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            IIG(2).add_interaction(0, 1, weight=0)
+
+    def test_weight_of_strangers_is_zero(self):
+        assert IIG(2).weight(0, 1) == 0
+
+    def test_to_networkx(self):
+        iig = IIG(3)
+        iig.add_interaction(0, 1, weight=4)
+        graph = iig.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph[0][1]["weight"] == 4
+
+
+class TestBuildIIG:
+    def test_one_qubit_gates_ignored(self):
+        circuit = Circuit(2)
+        circuit.extend([h(0), t(1)])
+        iig = build_iig(circuit)
+        assert iig.total_weight == 0
+        assert iig.num_edges == 0
+
+    def test_cnots_counted_per_pair(self):
+        circuit = Circuit(3)
+        circuit.extend([cnot(0, 1), cnot(1, 0), cnot(1, 2)])
+        iig = build_iig(circuit)
+        assert iig.weight(0, 1) == 2
+        assert iig.weight(1, 2) == 1
+        assert iig.degree(1) == 2
+
+    def test_ham3_iig_is_a_triangle(self):
+        iig = build_iig(ham3())
+        assert iig.num_edges == 3
+        assert iig.total_weight == 10  # the 10 CNOTs of the 19-gate circuit
+        for q in range(3):
+            assert iig.degree(q) == 2
+
+    def test_ladder_is_a_path_graph(self):
+        iig = build_iig(cnot_ladder(5))
+        assert iig.num_edges == 4
+        assert iig.degree(0) == 1
+        assert iig.degree(2) == 2
+
+    def test_toffoli_gates_not_counted(self):
+        # Arity-3 synthesis gates carry no pairwise interaction weight;
+        # LEQA consumes FT circuits where only CNOTs remain.
+        circuit = Circuit(3)
+        circuit.append(toffoli(0, 1, 2))
+        assert build_iig(circuit).total_weight == 0

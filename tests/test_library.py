@@ -1,0 +1,77 @@
+"""Unit tests for the benchmark registry (repro.circuits.library)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import (
+    BENCHMARKS,
+    PAPER_TABLE3_ORDER,
+    benchmark_names,
+    build,
+    build_ft,
+)
+from repro.exceptions import CircuitError
+
+
+class TestRegistry:
+    def test_all_table3_rows_registered(self):
+        for name in PAPER_TABLE3_ORDER:
+            assert name in BENCHMARKS
+
+    def test_table3_has_eighteen_rows(self):
+        assert len(PAPER_TABLE3_ORDER) == 18
+
+    def test_ham3_is_registered_extra(self):
+        assert "ham3" in BENCHMARKS
+        assert "ham3" not in PAPER_TABLE3_ORDER
+
+    def test_benchmark_names_covers_registry(self):
+        assert set(benchmark_names()) == set(BENCHMARKS)
+
+    def test_paper_counts_recorded_for_table3_rows(self):
+        for name in PAPER_TABLE3_ORDER:
+            spec = BENCHMARKS[name]
+            assert spec.paper_qubits is not None
+            assert spec.paper_ops is not None
+
+    def test_paper_ops_sorted_in_table_order(self):
+        ops = [BENCHMARKS[name].paper_ops for name in PAPER_TABLE3_ORDER]
+        # Table 3 is "sorted based on the operation count" (two adjacent
+        # rows swap in the paper itself: hwb15ps/hwb16ps tie region).
+        assert ops[0] == 822 and ops[-1] == 983805
+        assert sorted(ops)[-1] == ops[-1]
+
+
+class TestBuild:
+    def test_build_sets_paper_name(self):
+        circuit = build("8bitadder")
+        assert circuit.name == "8bitadder"
+        assert circuit.num_qubits == 24
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(CircuitError, match="known benchmarks"):
+            build("gf2^17mult")
+
+    @pytest.mark.parametrize("name", ["8bitadder", "gf2^16mult", "ham3"])
+    def test_build_is_deterministic(self, name):
+        assert list(build(name)) == list(build(name))
+
+    def test_gf2_family_qubits_are_3n(self):
+        for name, n in [("gf2^16mult", 16), ("gf2^20mult", 20)]:
+            assert build(name).num_qubits == 3 * n
+
+
+class TestBuildFt:
+    @pytest.mark.parametrize("name", ["8bitadder", "ham3", "ham15"])
+    def test_build_ft_is_fault_tolerant(self, name):
+        assert build_ft(name).is_ft()
+
+    def test_share_ancillas_shrinks_qubits(self):
+        plain = build_ft("ham15")
+        shared = build_ft("ham15", share_ancillas=True)
+        assert shared.num_qubits < plain.num_qubits
+        assert len(shared) == len(plain)
+
+    def test_ft_retains_benchmark_name(self):
+        assert build_ft("8bitadder").name == "8bitadder"

@@ -1,0 +1,76 @@
+"""Unit tests for the QSPR mapper facade (repro.qspr.mapper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import toffoli
+from repro.circuits.generators import ham3
+from repro.exceptions import MappingError
+from repro.fabric.params import FabricSpec, PhysicalParams
+from repro.qspr.mapper import QSPRMapper, map_circuit
+
+
+@pytest.fixture
+def params():
+    return PhysicalParams(fabric=FabricSpec(10, 10))
+
+
+class TestMapping:
+    def test_end_to_end_ham3(self, params):
+        result = QSPRMapper(params=params).map(ham3())
+        assert result.latency > 0.0
+        assert result.qubit_count == 3
+        assert result.op_count == 19
+        assert result.elapsed_seconds > 0.0
+        assert result.latency_seconds == pytest.approx(result.latency * 1e-6)
+
+    def test_deterministic(self, params):
+        first = QSPRMapper(params=params).map(ham3())
+        second = QSPRMapper(params=params).map(ham3())
+        assert first.latency == second.latency
+
+    def test_non_ft_circuit_rejected(self, params):
+        circuit = Circuit(3)
+        circuit.append(toffoli(0, 1, 2))
+        with pytest.raises(MappingError, match="fault-tolerant"):
+            QSPRMapper(params=params).map(circuit)
+
+    def test_placement_strategy_recorded(self, params):
+        result = QSPRMapper(params=params, placement="row_major").map(ham3())
+        assert result.placement_strategy == "row_major"
+
+    @pytest.mark.parametrize("strategy", ["iig_greedy", "row_major", "random"])
+    def test_all_placements_produce_valid_latency(self, params, strategy):
+        result = QSPRMapper(params=params, placement=strategy).map(ham3())
+        assert result.latency > 0.0
+
+    def test_iig_greedy_not_worse_than_row_major(self, params, adder_ft):
+        greedy = QSPRMapper(params=params, placement="iig_greedy").map(adder_ft)
+        naive = QSPRMapper(params=params, placement="row_major").map(adder_ft)
+        # Interaction-aware placement should not lose badly on a circuit
+        # with strong locality (allow 10% tolerance for heuristic noise).
+        assert greedy.latency <= naive.latency * 1.10
+
+    @pytest.mark.parametrize("routing", ["maze", "xy"])
+    def test_routing_modes(self, params, routing):
+        result = QSPRMapper(params=params, routing=routing).map(ham3())
+        assert result.latency > 0.0
+
+    def test_convenience_wrapper(self, params):
+        assert map_circuit(ham3(), params=params).latency == pytest.approx(
+            QSPRMapper(params=params).map(ham3()).latency
+        )
+
+    def test_latency_at_least_critical_path_of_delays(self, params, adder_ft):
+        # The mapped latency can never beat the routing-free critical path.
+        from repro.qodg.critical_path import critical_path
+        from repro.qodg.graph import build_qodg
+
+        delays = params.delays.by_kind()
+        floor = critical_path(
+            build_qodg(adder_ft), lambda g: delays[g.kind]
+        ).length
+        result = QSPRMapper(params=params).map(adder_ft)
+        assert result.latency >= floor

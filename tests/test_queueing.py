@@ -1,0 +1,138 @@
+"""Unit tests for the M/M/1 congestion model (repro.core.queueing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queueing import (
+    arrival_rate,
+    average_wait,
+    congested_latency,
+    latency_profile,
+    service_rate,
+)
+from repro.exceptions import EstimationError
+
+
+class TestServiceAndArrival:
+    def test_mu_is_capacity_over_duncong(self):
+        assert service_rate(200.0, 4) == pytest.approx(0.02)
+
+    def test_eq10_arrival_rate(self):
+        # lambda = q Nc / ((1+q) d).
+        q, d, nc = 7, 100.0, 5
+        assert arrival_rate(q, d, nc) == pytest.approx(q * nc / ((1 + q) * d))
+
+    def test_eq9_consistency_queue_length_recovered(self):
+        # Plugging Eq. 10's lambda back into Eq. 9 must return q.
+        q, d, nc = 9, 250.0, 5
+        lam = arrival_rate(q, d, nc)
+        mu = service_rate(d, nc)
+        assert lam / (mu - lam) == pytest.approx(q)
+
+    def test_littles_law_consistency(self):
+        # W = q / lambda must equal Eq. 11's closed form.
+        q, d, nc = 12, 80.0, 3
+        lam = arrival_rate(q, d, nc)
+        assert q / lam == pytest.approx(average_wait(q, d, nc))
+
+    def test_zero_duncong_rejected_for_rates(self):
+        with pytest.raises(EstimationError):
+            service_rate(0.0, 5)
+
+
+class TestEq8:
+    def test_uncongested_region_flat(self):
+        for q in range(0, 6):
+            assert congested_latency(q, 100.0, 5) == 100.0
+
+    def test_congested_region_formula(self):
+        # q > Nc: d_q = (1+q) d / Nc.
+        assert congested_latency(9, 100.0, 5) == pytest.approx(200.0)
+
+    def test_boundary_exactly_at_capacity(self):
+        assert congested_latency(5, 100.0, 5) == 100.0
+        assert congested_latency(6, 100.0, 5) == pytest.approx(140.0)
+
+    def test_congested_latency_matches_average_wait(self):
+        # For q > Nc, Eq. 8's congested branch IS Eq. 11's W_avg.
+        q, d, nc = 8, 123.0, 4
+        assert congested_latency(q, d, nc) == pytest.approx(
+            average_wait(q, d, nc)
+        )
+
+    def test_monotone_in_overlap(self):
+        profile = latency_profile(30, 100.0, 5)
+        assert all(b >= a for a, b in zip(profile, profile[1:]))
+
+    def test_profile_length_and_head(self):
+        profile = latency_profile(8, 50.0, 5)
+        assert len(profile) == 8
+        assert profile[:5] == [50.0] * 5
+
+    def test_zero_duncong_gives_zero_latency(self):
+        assert congested_latency(10, 0.0, 5) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"overlap": -1, "d_uncong": 1.0, "capacity": 5},
+        {"overlap": 1, "d_uncong": -1.0, "capacity": 5},
+        {"overlap": 1, "d_uncong": 1.0, "capacity": 0},
+    ])
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(EstimationError):
+            congested_latency(**kwargs)
+
+
+class TestMD1Variant:
+    def test_uncongested_region_matches_mm1(self):
+        from repro.core.queueing import congested_latency_md1
+
+        for q in range(6):
+            assert congested_latency_md1(q, 100.0, 5) == 100.0
+
+    def test_deterministic_service_waits_less_when_congested(self):
+        from repro.core.queueing import congested_latency_md1
+
+        for q in range(6, 40):
+            assert congested_latency_md1(q, 100.0, 5) <= congested_latency(
+                q, 100.0, 5
+            )
+
+    def test_md1_utilization_solution_satisfies_pk_formula(self):
+        # rho from the closed form must reproduce L = rho + rho^2/(2(1-rho)).
+        q = 9
+        rho = (1 + q) - ((1 + q) ** 2 - 2 * q) ** 0.5
+        recovered = rho + rho * rho / (2 * (1 - rho))
+        assert recovered == pytest.approx(q)
+        assert 0 < rho < 1
+
+    def test_monotone_in_overlap(self):
+        profile = latency_profile(25, 100.0, 4, model="md1")
+        assert all(b >= a - 1e-9 for a, b in zip(profile, profile[1:]))
+
+    def test_profile_model_dispatch(self):
+        mm1 = latency_profile(10, 50.0, 3, model="mm1")
+        md1 = latency_profile(10, 50.0, 3, model="md1")
+        assert mm1[:3] == md1[:3]
+        assert mm1[9] > md1[9]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(EstimationError, match="unknown queue model"):
+            latency_profile(5, 50.0, 3, model="mg1")
+
+    def test_estimator_rejects_unknown_model(self):
+        from repro.core.estimator import LEQAEstimator
+
+        with pytest.raises(EstimationError, match="unknown queue model"):
+            LEQAEstimator(queue_model="fifo")
+
+    def test_estimator_md1_not_slower_than_mm1(self):
+        from repro.circuits.generators import ham3
+        from repro.core.estimator import LEQAEstimator
+        from repro.fabric.params import FabricSpec, PhysicalParams
+
+        params = PhysicalParams(fabric=FabricSpec(4, 4))
+        circuit = ham3()
+        mm1 = LEQAEstimator(params=params, queue_model="mm1").estimate(circuit)
+        md1 = LEQAEstimator(params=params, queue_model="md1").estimate(circuit)
+        assert md1.l_avg_cnot <= mm1.l_avg_cnot

@@ -1,0 +1,167 @@
+"""Unit tests for the reference simulators (repro.circuits.simulate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import (
+    GateKind,
+    cnot,
+    fredkin,
+    h,
+    mct,
+    s,
+    sdg,
+    swap,
+    t,
+    tdg,
+    toffoli,
+    x,
+    y,
+    z,
+)
+from repro.circuits.simulate import (
+    CLASSICAL_KINDS,
+    apply_gate_to_bits,
+    circuit_unitary,
+    gate_unitary,
+    simulate_basis,
+    simulate_int,
+)
+from repro.exceptions import CircuitError
+
+
+class TestApplyGateToBits:
+    def test_x_flips_target(self):
+        bits = [0, 0]
+        apply_gate_to_bits(x(1), bits)
+        assert bits == [0, 1]
+
+    def test_cnot_respects_control(self):
+        bits = [0, 0]
+        apply_gate_to_bits(cnot(0, 1), bits)
+        assert bits == [0, 0]
+        bits = [1, 0]
+        apply_gate_to_bits(cnot(0, 1), bits)
+        assert bits == [1, 1]
+
+    def test_toffoli_needs_both_controls(self):
+        for a, b, expected in [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 1)]:
+            bits = [a, b, 0]
+            apply_gate_to_bits(toffoli(0, 1, 2), bits)
+            assert bits[2] == expected
+
+    def test_fredkin_swaps_when_control_set(self):
+        bits = [1, 1, 0]
+        apply_gate_to_bits(fredkin(0, 1, 2), bits)
+        assert bits == [1, 0, 1]
+
+    def test_fredkin_identity_when_control_clear(self):
+        bits = [0, 1, 0]
+        apply_gate_to_bits(fredkin(0, 1, 2), bits)
+        assert bits == [0, 1, 0]
+
+    def test_swap_unconditional(self):
+        bits = [1, 0]
+        apply_gate_to_bits(swap(0, 1), bits)
+        assert bits == [0, 1]
+
+    def test_mct_fires_only_on_all_controls(self):
+        gate = mct((0, 1, 2), 3)
+        bits = [1, 1, 0, 0]
+        apply_gate_to_bits(gate, bits)
+        assert bits[3] == 0
+        bits = [1, 1, 1, 0]
+        apply_gate_to_bits(gate, bits)
+        assert bits[3] == 1
+
+    @pytest.mark.parametrize("gate", [h(0), t(0), s(0)])
+    def test_quantum_gate_rejected(self, gate):
+        with pytest.raises(CircuitError, match="no classical"):
+            apply_gate_to_bits(gate, [0])
+
+
+class TestSimulateBasis:
+    def test_wrong_input_length_rejected(self):
+        with pytest.raises(CircuitError, match="expected 2"):
+            simulate_basis(Circuit(2), [0])
+
+    def test_reversibility_forward_then_reverse(self):
+        circuit = Circuit(3)
+        circuit.extend([x(0), cnot(0, 1), toffoli(0, 1, 2), fredkin(2, 0, 1)])
+        inverse = circuit.reversed()
+        for value in range(8):
+            bits = [(value >> i) & 1 for i in range(3)]
+            out = simulate_basis(inverse, simulate_basis(circuit, bits))
+            assert out == bits
+
+    def test_simulate_int_roundtrip(self):
+        circuit = Circuit(4)
+        circuit.append(x(2))
+        assert simulate_int(circuit, 0b0001) == 0b0101
+
+    def test_simulate_int_with_bit_order(self):
+        circuit = Circuit(2)
+        circuit.append(x(0))
+        # bit 0 of the value lives on qubit 1
+        assert simulate_int(circuit, 0b00, bit_order=[1, 0]) == 0b10
+
+
+class TestGateUnitary:
+    @pytest.mark.parametrize("gate", [x(0), y(0), z(0), h(0), s(0), sdg(0), t(0), tdg(0)])
+    def test_one_qubit_unitaries_are_unitary(self, gate):
+        unitary = gate_unitary(gate, 1)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(2), atol=1e-12)
+
+    def test_h_squared_is_identity(self):
+        unitary = gate_unitary(h(0), 1)
+        assert np.allclose(unitary @ unitary, np.eye(2), atol=1e-12)
+
+    def test_t_fourth_power_is_z(self):
+        t_matrix = gate_unitary(t(0), 1)
+        z_matrix = gate_unitary(z(0), 1)
+        assert np.allclose(np.linalg.matrix_power(t_matrix, 4), z_matrix, atol=1e-12)
+
+    def test_s_is_t_squared(self):
+        assert np.allclose(
+            gate_unitary(s(0), 1), gate_unitary(t(0), 1) @ gate_unitary(t(0), 1),
+            atol=1e-12,
+        )
+
+    def test_sdg_inverts_s(self):
+        product = gate_unitary(sdg(0), 1) @ gate_unitary(s(0), 1)
+        assert np.allclose(product, np.eye(2), atol=1e-12)
+
+    def test_cnot_permutation(self):
+        unitary = gate_unitary(cnot(0, 1), 2)
+        # |01> (qubit0=1) -> |11>; states indexed little-endian.
+        state = np.zeros(4)
+        state[1] = 1.0
+        assert np.allclose(unitary @ state, np.eye(4)[3])
+
+    def test_embedded_target_qubit(self):
+        # X on qubit 1 of 3: |000> -> |010> (index 2).
+        unitary = gate_unitary(x(1), 3)
+        assert unitary[2, 0] == 1.0
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(CircuitError, match="limited"):
+            gate_unitary(x(0), 15)
+
+
+class TestCircuitUnitary:
+    def test_empty_circuit_is_identity(self):
+        assert np.allclose(circuit_unitary(Circuit(2)), np.eye(4))
+
+    def test_composition_order(self):
+        # X then H on one qubit: U = H @ X.
+        circuit = Circuit(1)
+        circuit.extend([x(0), h(0)])
+        expected = gate_unitary(h(0), 1) @ gate_unitary(x(0), 1)
+        assert np.allclose(circuit_unitary(circuit), expected, atol=1e-12)
+
+    def test_classical_kinds_constant(self):
+        assert GateKind.TOFFOLI in CLASSICAL_KINDS
+        assert GateKind.H not in CLASSICAL_KINDS

@@ -1,0 +1,100 @@
+"""Unit tests for slack analysis (repro.qodg.slack)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import GateKind, cnot, h, t, x
+from repro.exceptions import GraphError
+from repro.qodg.critical_path import critical_path
+from repro.qodg.graph import build_qodg
+from repro.qodg.slack import analyze_slack, critical_set_shift
+
+
+def unit_delay(_gate):
+    return 1.0
+
+
+class TestAnalyzeSlack:
+    def test_serial_chain_all_critical(self):
+        circuit = Circuit(1)
+        circuit.extend([h(0), t(0), x(0)])
+        analysis = analyze_slack(build_qodg(circuit), unit_delay)
+        assert analysis.makespan == 3.0
+        assert analysis.slack == (0.0, 0.0, 0.0)
+        assert analysis.asap_start == (0.0, 1.0, 2.0)
+        assert analysis.alap_start == (0.0, 1.0, 2.0)
+
+    def test_diamond_slack_on_short_branch(self):
+        # q0: h (1 op); q1: h,t,x (3 ops); join cnot(0,1).
+        circuit = Circuit(2)
+        circuit.extend([h(0), h(1), t(1), x(1), cnot(0, 1)])
+        analysis = analyze_slack(build_qodg(circuit), unit_delay)
+        assert analysis.makespan == 4.0
+        # The lone h(0) can slide 2 time units.
+        assert analysis.slack[0] == pytest.approx(2.0)
+        assert analysis.slack[1:] == (0.0, 0.0, 0.0, 0.0)
+
+    def test_makespan_matches_critical_path(self, adder_ft):
+        qodg = build_qodg(adder_ft)
+
+        def delay(gate):
+            return 5.0 if gate.kind is GateKind.CNOT else 2.0
+
+        analysis = analyze_slack(qodg, delay)
+        result = critical_path(qodg, delay)
+        assert analysis.makespan == pytest.approx(result.length)
+
+    def test_critical_path_nodes_have_zero_slack(self, adder_ft):
+        qodg = build_qodg(adder_ft)
+        analysis = analyze_slack(qodg, unit_delay)
+        result = critical_path(qodg, unit_delay)
+        critical = set(analysis.critical_nodes())
+        for node in result.node_ids:
+            assert node in critical
+
+    def test_slack_non_negative(self, adder_ft):
+        analysis = analyze_slack(build_qodg(adder_ft), unit_delay)
+        assert all(s >= -1e-9 for s in analysis.slack)
+
+    def test_empty_circuit(self):
+        analysis = analyze_slack(build_qodg(Circuit(2)), unit_delay)
+        assert analysis.makespan == 0.0
+        assert analysis.slack == ()
+
+    def test_negative_delay_rejected(self):
+        circuit = Circuit(1)
+        circuit.append(h(0))
+        with pytest.raises(GraphError):
+            analyze_slack(build_qodg(circuit), lambda g: -1.0)
+
+
+class TestCriticalSetShift:
+    def test_routing_can_move_the_critical_path(self):
+        # Two parallel branches joined at the end:
+        #   branch A: 3 one-qubit ops on q0;
+        #   branch B: 2 CNOTs on (q1, q2).
+        # Without routing: A (3) beats B (2). With heavy CNOT routing,
+        # B's path dominates — the paper's slack-shift phenomenon.
+        circuit = Circuit(3)
+        circuit.extend([h(0), t(0), x(0), cnot(1, 2), cnot(2, 1)])
+        qodg = build_qodg(circuit)
+
+        def without_routing(gate):
+            return 1.0
+
+        def with_routing(gate):
+            return 5.0 if gate.kind is GateKind.CNOT else 1.0
+
+        shift = critical_set_shift(qodg, without_routing, with_routing)
+        assert 3 in shift["joined"] and 4 in shift["joined"]
+        assert set(shift["left"]) == {0, 1, 2}
+        assert shift["stable"] == ()
+
+    def test_no_shift_for_identical_delays(self, adder_ft):
+        qodg = build_qodg(adder_ft)
+        shift = critical_set_shift(qodg, unit_delay, unit_delay)
+        assert shift["joined"] == ()
+        assert shift["left"] == ()
+        assert len(shift["stable"]) > 0

@@ -1,0 +1,95 @@
+"""Tests that the fast critical-path sweep matches the QODG-based pass."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import GateKind, cnot, h, t, x
+from repro.circuits.generators import ham3, random_reversible
+from repro.exceptions import GraphError
+from repro.qodg.critical_path import critical_path
+from repro.qodg.graph import build_qodg
+from repro.qodg.sweep import sweep_critical_path
+
+
+def unit_delay(_gate):
+    return 1.0
+
+
+class TestSweepMatchesGraphPass:
+    def test_empty_circuit(self):
+        result = sweep_critical_path(Circuit(3), unit_delay)
+        assert result.length == 0.0
+        assert result.node_ids == ()
+
+    def test_serial_chain(self):
+        circuit = Circuit(1)
+        circuit.extend([h(0), t(0), x(0)])
+        result = sweep_critical_path(circuit, unit_delay)
+        assert result.length == 3.0
+        assert result.node_ids == (0, 1, 2)
+
+    def test_ham3_same_length_and_counts(self):
+        circuit = ham3()
+
+        def delay(gate):
+            return 3.0 if gate.kind is GateKind.CNOT else 1.0
+
+        graph_result = critical_path(build_qodg(circuit), delay)
+        sweep_result = sweep_critical_path(circuit, delay)
+        assert sweep_result.length == pytest.approx(graph_result.length)
+        assert sweep_result.cnot_count == graph_result.cnot_count
+
+    def test_path_is_a_dependency_chain(self, adder_ft):
+        result = sweep_critical_path(adder_ft, unit_delay)
+        qodg = build_qodg(adder_ft)
+        for earlier, later in zip(result.node_ids, result.node_ids[1:]):
+            assert earlier in qodg.predecessors(later)
+
+    def test_negative_delay_rejected(self):
+        circuit = Circuit(1)
+        circuit.append(h(0))
+        with pytest.raises(GraphError, match="negative delay"):
+            sweep_critical_path(circuit, lambda g: -1.0)
+
+    @given(
+        num_qubits=st.integers(3, 8),
+        gate_count=st.integers(0, 80),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equals_graph_longest_path_on_random_circuits(
+        self, num_qubits, gate_count, seed
+    ):
+        circuit = random_reversible(num_qubits, gate_count, seed)
+
+        def delay(gate):
+            # Distinct per-kind delays so ties are rare.
+            return {
+                GateKind.X: 1.0,
+                GateKind.CNOT: 2.5,
+                GateKind.TOFFOLI: 7.25,
+            }[gate.kind]
+
+        graph_result = critical_path(build_qodg(circuit), delay)
+        sweep_result = sweep_critical_path(circuit, delay)
+        assert sweep_result.length == pytest.approx(graph_result.length)
+        # Path delays must sum to the length in both representations.
+        assert sum(
+            delay(circuit[n]) for n in sweep_result.node_ids
+        ) == pytest.approx(sweep_result.length)
+
+    def test_estimator_fast_path_matches_qodg_path(self, adder_ft):
+        from repro.core.estimator import LEQAEstimator
+        from repro.fabric.params import PhysicalParams, FabricSpec
+
+        estimator = LEQAEstimator(
+            params=PhysicalParams(fabric=FabricSpec(10, 10))
+        )
+        fast = estimator.estimate(adder_ft)
+        explicit = estimator.estimate_qodg(build_qodg(adder_ft))
+        assert fast.latency == pytest.approx(explicit.latency)
+        assert fast.l_avg_cnot == pytest.approx(explicit.l_avg_cnot)

@@ -1,0 +1,127 @@
+"""Unit tests for schedule tracing (repro.qspr.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cnot, h, t
+from repro.circuits.generators import ham3
+from repro.exceptions import MappingError
+from repro.fabric.params import FabricSpec, PhysicalParams
+from repro.qspr.mapper import QSPRMapper
+from repro.qspr.scheduling import schedule_circuit
+from repro.qspr.trace import (
+    ScheduleTrace,
+    TraceEvent,
+    busiest_ulbs,
+    qubit_travel,
+    to_json_records,
+    ulb_utilization,
+    write_csv,
+)
+
+
+@pytest.fixture
+def params():
+    return PhysicalParams(fabric=FabricSpec(8, 8))
+
+
+@pytest.fixture
+def traced_result(params):
+    circuit = Circuit(2)
+    circuit.extend([h(0), cnot(0, 1), t(1)])
+    return schedule_circuit(
+        circuit, [(0, 0), (4, 0)], params, record_trace=True
+    )
+
+
+class TestTraceRecording:
+    def test_event_per_operation(self, traced_result):
+        trace = traced_result.trace
+        assert trace is not None
+        assert len(trace) == 3
+        assert [e.kind for e in trace] == ["h", "cnot", "t"]
+
+    def test_no_trace_by_default(self, params):
+        circuit = Circuit(1)
+        circuit.append(h(0))
+        result = schedule_circuit(circuit, [(0, 0)], params)
+        assert result.trace is None
+
+    def test_finish_times_match_trace(self, traced_result):
+        trace = traced_result.trace
+        assert [e.finish for e in trace] == list(traced_result.finish_times)
+
+    def test_cnot_event_carries_travel(self, traced_result):
+        cnot_event = traced_result.trace[1]
+        assert cnot_event.qubits == (0, 1)
+        assert cnot_event.travel_hops == 4  # both qubits to the midpoint
+        assert cnot_event.duration == pytest.approx(4930.0)
+
+    def test_makespan_matches_latency(self, traced_result):
+        assert traced_result.trace.makespan == traced_result.latency
+
+    def test_mapper_facade_records_trace(self, params):
+        result = QSPRMapper(params=params, record_trace=True).map(ham3())
+        assert result.schedule.trace is not None
+        assert len(result.schedule.trace) == 19
+
+    def test_events_must_be_ordered(self):
+        event = TraceEvent(0, "h", (0,), (0, 0), 0.0, 1.0, 0, 0.0)
+        with pytest.raises(MappingError, match="program order"):
+            ScheduleTrace([event, event])
+
+
+class TestTraceQueries:
+    def test_events_on_ulb(self, traced_result):
+        trace = traced_result.trace
+        h_event = trace[0]
+        assert h_event in trace.events_on(h_event.ulb)
+
+    def test_events_touching_qubit(self, traced_result):
+        trace = traced_result.trace
+        touching_1 = trace.events_touching(1)
+        assert [e.kind for e in touching_1] == ["cnot", "t"]
+
+    def test_ulb_utilization_bounded(self, traced_result):
+        utilization = ulb_utilization(traced_result.trace)
+        assert utilization
+        for fraction in utilization.values():
+            assert 0.0 < fraction <= 1.0
+
+    def test_empty_trace_utilization(self):
+        assert ulb_utilization(ScheduleTrace([])) == {}
+
+    def test_busiest_ulbs(self, params):
+        result = QSPRMapper(params=params, record_trace=True).map(ham3())
+        top = busiest_ulbs(result.schedule.trace, count=2)
+        assert len(top) <= 2
+        assert top[0][1] >= top[-1][1]
+        assert sum(
+            count for _, count in busiest_ulbs(result.schedule.trace, 100)
+        ) == 19
+
+    def test_qubit_travel_attribution(self, traced_result):
+        travel = qubit_travel(traced_result.trace)
+        # Each CNOT operand is charged the event's combined 4 hops; the
+        # h/t events add nothing.
+        assert travel[0] == 4
+        assert travel[1] == 4
+
+
+class TestTraceExport:
+    def test_json_roundtrip(self, traced_result):
+        records = json.loads(to_json_records(traced_result.trace))
+        assert len(records) == 3
+        assert records[1]["kind"] == "cnot"
+        assert records[1]["travel_hops"] == 4
+
+    def test_csv_export(self, traced_result, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(traced_result.trace, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 events
+        assert lines[0].startswith("index,kind")

@@ -1,0 +1,86 @@
+"""Unit tests for the TSP/Hamiltonian path model (repro.core.tsp)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.tsp import (
+    UNIT_SQUARE_MEAN_DISTANCE,
+    expected_hamiltonian_path,
+    tsp_tour_estimate,
+    tsp_tour_lower_bound,
+    tsp_tour_upper_bound,
+)
+from repro.exceptions import EstimationError
+
+
+class TestTourBounds:
+    def test_eq13_lower_bound_formula(self):
+        assert tsp_tour_lower_bound(16) == pytest.approx(0.708 * 4 + 0.551)
+
+    def test_eq14_upper_bound_formula(self):
+        assert tsp_tour_upper_bound(16) == pytest.approx(0.718 * 4 + 0.731)
+
+    def test_estimate_is_the_midpoint(self):
+        for n in (2, 10, 100):
+            mid = (tsp_tour_lower_bound(n) + tsp_tour_upper_bound(n)) / 2
+            assert tsp_tour_estimate(n) == pytest.approx(mid)
+
+    def test_bounds_are_ordered(self):
+        for n in (1, 5, 50, 500):
+            assert (
+                tsp_tour_lower_bound(n)
+                < tsp_tour_estimate(n)
+                < tsp_tour_upper_bound(n)
+            )
+
+    def test_monotone_in_point_count(self):
+        values = [tsp_tour_estimate(n) for n in range(1, 50)]
+        assert values == sorted(values)
+
+    def test_invalid_point_count_rejected(self):
+        with pytest.raises(EstimationError):
+            tsp_tour_estimate(0)
+
+
+class TestExpectedHamiltonianPath:
+    def test_eq15_hand_computed(self):
+        # M=4, B=9: sqrt(9) * (0.713*sqrt(5) + 0.641) * 3/4.
+        expected = 3.0 * (0.713 * math.sqrt(5) + 0.641) * 0.75
+        assert expected_hamiltonian_path(4, 9.0) == pytest.approx(expected)
+
+    def test_degree_zero_is_zero(self):
+        assert expected_hamiltonian_path(0, 5.0) == 0.0
+
+    def test_degree_one_strict_is_zero(self):
+        # Paper-faithful: the (M-1)/M factor vanishes.
+        assert expected_hamiltonian_path(1, 4.0, strict=True) == 0.0
+
+    def test_degree_one_corrected_uses_two_point_distance(self):
+        value = expected_hamiltonian_path(1, 4.0, strict=False)
+        assert value == pytest.approx(2.0 * UNIT_SQUARE_MEAN_DISTANCE)
+
+    def test_strict_and_corrected_agree_for_higher_degrees(self):
+        for degree in (2, 3, 10):
+            assert expected_hamiltonian_path(
+                degree, 7.0, strict=True
+            ) == expected_hamiltonian_path(degree, 7.0, strict=False)
+
+    def test_scales_with_zone_side(self):
+        base = expected_hamiltonian_path(5, 1.0)
+        assert expected_hamiltonian_path(5, 4.0) == pytest.approx(2.0 * base)
+
+    def test_grows_with_degree(self):
+        values = [expected_hamiltonian_path(m, 9.0) for m in range(2, 30)]
+        assert values == sorted(values)
+
+    def test_unit_square_mean_distance_constant(self):
+        # Known closed form ~= 0.5214.
+        assert UNIT_SQUARE_MEAN_DISTANCE == pytest.approx(0.52140543, abs=1e-6)
+
+    @pytest.mark.parametrize("degree,area", [(-1, 1.0), (2, 0.0), (2, -3.0)])
+    def test_invalid_inputs_rejected(self, degree, area):
+        with pytest.raises(EstimationError):
+            expected_hamiltonian_path(degree, area)

@@ -1,0 +1,138 @@
+"""Tests for the Monte-Carlo validation module (repro.core.validation).
+
+These are the tests that *check the paper's math against simulation*: the
+analytical E[S_q] must match empirical zone-placement statistics, and the
+Eq. 13-14 TSP bracket must cover (approximately) the measured Hamiltonian
+path lengths.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.coverage import (
+    expected_coverage_surface,
+    expected_coverage_surfaces,
+)
+from repro.core.tsp import (
+    tsp_tour_estimate,
+    tsp_tour_lower_bound,
+    tsp_tour_upper_bound,
+)
+from repro.core.validation import (
+    heuristic_hamiltonian_path_length,
+    simulate_coverage_surfaces,
+    simulate_hamiltonian_path,
+)
+from repro.exceptions import EstimationError
+
+
+class TestCoverageSimulation:
+    def test_total_surface_conserved(self):
+        sim = simulate_coverage_surfaces(
+            num_zones=6, width=10, height=10, area=9.0, trials=50, seed=1
+        )
+        assert sim.total == pytest.approx(100.0)
+
+    def test_matches_analytical_surfaces(self):
+        # Eq. 4 against simulation: each computed E[S_q] within a few
+        # percent of the empirical average (law of large numbers).
+        Q, a, b, area = 8, 12, 12, 9.0
+        sim = simulate_coverage_surfaces(
+            Q, a, b, area, trials=2000, max_overlap=Q, seed=7
+        )
+        analytical = expected_coverage_surfaces(Q, a, b, area, max_terms=None)
+        s0 = expected_coverage_surface(0, Q, a, b, area)
+        assert sim.surfaces[0] == pytest.approx(s0, rel=0.05)
+        for q in range(1, Q + 1):
+            if analytical[q - 1] > 1.0:  # skip statistically tiny terms
+                assert sim.surfaces[q] == pytest.approx(
+                    analytical[q - 1], rel=0.10
+                ), f"q={q}"
+
+    def test_zone_covering_fabric_always_full_overlap(self):
+        sim = simulate_coverage_surfaces(
+            num_zones=3, width=4, height=4, area=16.0, trials=10, seed=0
+        )
+        # Every zone covers everything: all 16 ULBs have overlap 3.
+        assert sim.surfaces[3] == pytest.approx(16.0)
+        assert sum(sim.surfaces[:3]) == pytest.approx(0.0)
+
+    def test_deterministic_for_seed(self):
+        kwargs = dict(num_zones=5, width=8, height=8, area=4.0, trials=20)
+        sim1 = simulate_coverage_surfaces(seed=3, **kwargs)
+        sim2 = simulate_coverage_surfaces(seed=3, **kwargs)
+        assert sim1.surfaces == sim2.surfaces
+
+    def test_invalid_arguments(self):
+        with pytest.raises(EstimationError):
+            simulate_coverage_surfaces(0, 5, 5, 4.0)
+        with pytest.raises(EstimationError):
+            simulate_coverage_surfaces(2, 5, 5, 4.0, trials=0)
+
+
+class TestHeuristicPath:
+    def test_two_points_is_their_distance(self):
+        points = [(0.0, 0.0), (3.0, 4.0)]
+        assert heuristic_hamiltonian_path_length(points) == pytest.approx(5.0)
+
+    def test_single_point_is_zero(self):
+        assert heuristic_hamiltonian_path_length([(0.5, 0.5)]) == 0.0
+
+    def test_collinear_points_found_optimal(self):
+        # Optimal path through collinear points is the segment length.
+        points = [(0.1 * i, 0.0) for i in (0, 3, 1, 4, 2)]
+        assert heuristic_hamiltonian_path_length(points) == pytest.approx(0.4)
+
+    def test_square_corners(self):
+        # Optimal open path over a unit square's corners = 3 sides.
+        points = [(0, 0), (1, 1), (0, 1), (1, 0)]
+        assert heuristic_hamiltonian_path_length(points) == pytest.approx(3.0)
+
+    def test_never_below_spanning_lower_bound(self):
+        import random
+
+        rng = random.Random(5)
+        points = [(rng.random(), rng.random()) for _ in range(12)]
+        length = heuristic_hamiltonian_path_length(points)
+        # Any Hamiltonian path is at least the max pairwise distance.
+        max_dist = max(
+            math.hypot(p[0] - q[0], p[1] - q[1])
+            for p in points
+            for q in points
+        )
+        assert length >= max_dist - 1e-12
+
+
+class TestPathSimulationAgainstBounds:
+    def test_empirical_mean_between_scaled_bounds(self):
+        # Eq. 13-14 bracket the expected TSP *tour*; the path midpoint
+        # estimate (Eq. 15's core) should land near the empirical path.
+        # For N = 40 points the asymptotic bracket is reasonably tight.
+        sim = simulate_hamiltonian_path(num_points=40, trials=30, seed=2)
+        tour_estimate = tsp_tour_estimate(40)
+        path_estimate = tour_estimate * (39 / 40)  # one edge fewer (~paper)
+        # Heuristic paths are near-optimal; allow a 15% band around the
+        # analytical midpoint.
+        assert sim.mean_length == pytest.approx(path_estimate, rel=0.15)
+
+    def test_bounds_order_against_simulation(self):
+        sim = simulate_hamiltonian_path(num_points=60, trials=20, seed=3)
+        lower = tsp_tour_lower_bound(60) * (59 / 60)
+        upper = tsp_tour_upper_bound(60)
+        # The empirical path must not exceed the tour upper bound wildly
+        # nor sit far below the path-adjusted lower bound.
+        assert sim.mean_length < upper * 1.10
+        assert sim.mean_length > lower * 0.85
+
+    def test_growth_with_point_count(self):
+        small = simulate_hamiltonian_path(10, trials=15, seed=1)
+        large = simulate_hamiltonian_path(40, trials=15, seed=1)
+        assert large.mean_length > small.mean_length
+
+    def test_deterministic(self):
+        sim1 = simulate_hamiltonian_path(15, trials=5, seed=9)
+        sim2 = simulate_hamiltonian_path(15, trials=5, seed=9)
+        assert sim1.mean_length == sim2.mean_length

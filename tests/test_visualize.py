@@ -1,0 +1,71 @@
+"""Unit tests for ASCII heatmaps (repro.analysis.visualize)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.visualize import (
+    INTENSITY_GLYPHS,
+    congestion_heatmap,
+    coverage_heatmap,
+    render_grid,
+    utilization_heatmap,
+)
+from repro.circuits.generators import ham3
+from repro.exceptions import ReproError
+from repro.fabric.params import FabricSpec, PhysicalParams
+from repro.qspr.mapper import QSPRMapper
+
+
+class TestRenderGrid:
+    def test_dimensions(self):
+        text = render_grid({(0, 0): 1.0}, 4, 3, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 3 + 1  # title + rows + legend
+        assert all(len(line) == 6 for line in lines[1:4])  # |....|
+
+    def test_peak_cell_gets_saturated_glyph(self):
+        text = render_grid({(1, 1): 2.0, (0, 0): 1.0}, 3, 3, title="T")
+        lines = text.splitlines()
+        # y=1 row is lines[2] (rows top-down from y=2); x=1 is col 2.
+        assert lines[2][2] == INTENSITY_GLYPHS[-1]
+
+    def test_zero_and_missing_cells_blank(self):
+        text = render_grid({}, 2, 2, title="T")
+        for line in text.splitlines()[1:3]:
+            assert line == "|  |"
+
+    def test_y_axis_points_up(self):
+        text = render_grid({(0, 0): 1.0}, 2, 2, title="T")
+        lines = text.splitlines()
+        assert lines[2][1] == INTENSITY_GLYPHS[-1]  # bottom row
+        assert lines[1][1] == " "  # top row empty
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ReproError):
+            render_grid({}, 0, 3, title="T")
+
+
+class TestHeatmaps:
+    def test_coverage_center_brighter_than_corner(self):
+        text = coverage_heatmap(9, 9, 9.0)
+        lines = text.splitlines()
+        center = lines[5][5]
+        corner = lines[9][1]
+        assert INTENSITY_GLYPHS.index(center) > INTENSITY_GLYPHS.index(corner)
+
+    def test_utilization_heatmap_from_trace(self):
+        params = PhysicalParams(fabric=FabricSpec(8, 8))
+        result = QSPRMapper(params=params, record_trace=True).map(ham3())
+        text = utilization_heatmap(result.schedule.trace, 8, 8)
+        assert "busy fraction" in text
+        # At least one non-blank cell.
+        body = "".join(text.splitlines()[1:9])
+        assert any(ch not in " |" for ch in body)
+
+    def test_congestion_heatmap_from_trace(self):
+        params = PhysicalParams(fabric=FabricSpec(8, 8))
+        result = QSPRMapper(params=params, record_trace=True).map(ham3())
+        text = congestion_heatmap(result.schedule.trace, 8, 8)
+        assert "operand hops" in text
