@@ -4,7 +4,9 @@ Every bench regenerates one of the paper's evaluation artifacts (Tables
 1-3, the scaling claims of section 4.2, or an ablation DESIGN.md calls
 out).  The helpers here keep the methodology consistent:
 
-* **One circuit cache** — FT netlists are built once per pytest session.
+* **One circuit cache** — FT netlists and IIGs are staged once per pytest
+  session in a shared :class:`repro.engine.ArtifactCache`; the mapper and
+  estimator both run as engine backends against it.
 * **One calibration** — the qubit speed ``v`` is tuned *once* against the
   detailed mapper on a single benchmark (``gf2^16mult``) and then held
   fixed for every other measurement, the tuning usage the paper describes
@@ -22,10 +24,11 @@ import os
 
 from repro.analysis.calibration import calibrate_qubit_speed
 from repro.circuits.circuit import Circuit
-from repro.circuits.library import PAPER_TABLE3_ORDER, build_ft
-from repro.core.estimator import LatencyEstimate, LEQAEstimator
+from repro.circuits.library import PAPER_TABLE3_ORDER
+from repro.core.estimator import LatencyEstimate
+from repro.engine import ArtifactCache, CircuitSpec, get_backend
 from repro.fabric.params import DEFAULT_PARAMS, PhysicalParams
-from repro.qspr.mapper import MappingResult, QSPRMapper
+from repro.qspr.mapper import MappingResult
 
 #: Benchmark used to tune ``v`` against the mapper (CNOT-dominated,
 #: mid-size, fast to map).
@@ -44,10 +47,15 @@ def selected_rows() -> tuple[str, ...]:
     return DEFAULT_ROWS
 
 
+#: One engine artifact cache for the whole pytest session: FT netlists
+#: and IIGs are staged once and shared by the mapper and the estimator.
+ENGINE_CACHE = ArtifactCache()
+
+
 @functools.lru_cache(maxsize=None)
 def ft_circuit(name: str) -> Circuit:
     """Session-cached FT netlist of a named benchmark."""
-    return build_ft(name)
+    return ENGINE_CACHE.ft_circuit(CircuitSpec(name))
 
 
 @functools.lru_cache(maxsize=1)
@@ -56,7 +64,8 @@ def calibrated_params() -> PhysicalParams:
     import dataclasses
 
     circuit = ft_circuit(CALIBRATION_BENCHMARK)
-    actual = QSPRMapper(params=DEFAULT_PARAMS).map(circuit)
+    backend = get_backend("qspr", params=DEFAULT_PARAMS, cache=ENGINE_CACHE)
+    actual = backend.run(circuit)
     speed = calibrate_qubit_speed(circuit, DEFAULT_PARAMS, actual.latency)
     return dataclasses.replace(DEFAULT_PARAMS, qubit_speed=speed)
 
@@ -64,11 +73,16 @@ def calibrated_params() -> PhysicalParams:
 @functools.lru_cache(maxsize=None)
 def mapped(name: str) -> MappingResult:
     """Session-cached detailed-mapper run (the expensive side)."""
-    return QSPRMapper(params=calibrated_params()).map(ft_circuit(name))
+    backend = get_backend(
+        "qspr", params=calibrated_params(), cache=ENGINE_CACHE
+    )
+    return backend.run(ft_circuit(name)).detail
 
 
 @functools.lru_cache(maxsize=None)
 def estimated(name: str) -> LatencyEstimate:
     """Session-cached LEQA run under the calibrated parameters."""
-    estimator = LEQAEstimator(params=calibrated_params())
-    return estimator.estimate(ft_circuit(name))
+    backend = get_backend(
+        "leqa", params=calibrated_params(), cache=ENGINE_CACHE
+    )
+    return backend.run(ft_circuit(name)).detail

@@ -7,35 +7,40 @@ presence zones to overlap (channel congestion, the M/M/1 regime of
 Eq. 8); huge fabrics waste area once congestion has vanished.  LEQA makes
 the sweep instant.
 
-The script sweeps square fabrics for a congestion-prone benchmark and
-prints the latency curve along with the congestion share, then reports
-the smallest fabric within 0.5 % of the best latency — a sensible
-"knee" recommendation a fabric architect would act on.
+The sweep runs through the execution engine (:mod:`repro.engine`): one
+``BatchRunner`` grid whose staged artifact cache synthesizes the FT
+netlist and builds the IIG exactly once for all fabric sizes — the cache
+statistics printed at the end prove it.  The script then reports the
+smallest fabric within 0.5 % of the best latency — a sensible "knee"
+recommendation a fabric architect would act on.
 
 Run:  python examples/fabric_sizing.py
 """
 
-from repro import DEFAULT_PARAMS, LEQAEstimator, build_ft
 from repro.analysis import format_table
+from repro.engine import BatchRunner, sweep_fabric_sizes
 
 SIZES = [8, 10, 14, 20, 28, 40, 60, 90]
 BENCH = "hwb20ps"
 
 
 def main() -> None:
-    circuit = build_ft(BENCH)
+    runner = BatchRunner(workers=1)
+    points = sweep_fabric_sizes(BENCH, SIZES, runner=runner)
+    failed = [p for p in points if not p.ok]
+    if failed:
+        for point in failed:
+            print(f"{point.job.tag}: {point.error}")
+        raise SystemExit(1)
+    first = points[0].result.detail
     print(
-        f"benchmark {BENCH}: {circuit.num_qubits} qubits, "
-        f"{len(circuit)} FT ops\n"
+        f"benchmark {BENCH}: {first.qubit_count} qubits, "
+        f"{first.op_count} FT ops\n"
     )
-    results = []
-    for size in SIZES:
-        params = DEFAULT_PARAMS.with_fabric(size, size)
-        estimate = LEQAEstimator(params=params).estimate(circuit)
-        results.append((size, estimate))
-    best_latency = min(e.latency for _, e in results)
+    best_latency = min(p.result.latency for p in points)
     rows = []
-    for size, estimate in results:
+    for size, point in zip(SIZES, points):
+        estimate = point.result.detail
         overhead = (estimate.latency / best_latency - 1.0) * 100
         rows.append(
             [
@@ -56,12 +61,18 @@ def main() -> None:
     )
     knee = next(
         size
-        for size, estimate in results
-        if estimate.latency <= best_latency * 1.005
+        for size, point in zip(SIZES, points)
+        if point.result.latency <= best_latency * 1.005
     )
     print(
         f"\nrecommended fabric: {knee} x {knee} "
         "(smallest within 0.5% of the best latency)"
+    )
+    stats = runner.cache.stats()
+    print(
+        f"engine cache: FT synthesis ran {stats.miss_count('ft')}x and the "
+        f"IIG was built {stats.miss_count('iig')}x for {len(points)} sweep "
+        "points"
     )
 
 

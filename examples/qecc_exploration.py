@@ -14,13 +14,20 @@ factor, while the non-transversal T gate pays an extra penalty.  It then
 reports, per code level, the estimated latency of two benchmarks — the
 kind of table a QECC designer would iterate on.
 
+The (code level x benchmark) grid runs through the execution engine's
+``BatchRunner``: each benchmark's FT netlist and IIG are staged once in
+the shared artifact cache and reused across every code level, and the
+deterministic result ordering maps the flat result list straight back
+onto the table.
+
 Run:  python examples/qecc_exploration.py
 """
 
 import dataclasses
 
-from repro import DEFAULT_PARAMS, LEQAEstimator, build_ft
+from repro import DEFAULT_PARAMS
 from repro.analysis import format_table
+from repro.engine import BatchRunner, CircuitSpec, Job
 from repro.fabric import GateDelays
 
 #: (label, overall delay multiplier, extra multiplier for T/T-dagger).
@@ -49,19 +56,31 @@ def delays_for(level_factor: float, t_penalty: float) -> GateDelays:
 
 def main() -> None:
     benchmarks = ["8bitadder", "ham15"]
-    circuits = {name: build_ft(name) for name in benchmarks}
-    rows = []
+    jobs = []
     for label, level_factor, t_penalty in CODE_LEVELS:
         params = dataclasses.replace(
             DEFAULT_PARAMS,
             delays=delays_for(level_factor, t_penalty),
             t_move=DEFAULT_PARAMS.t_move * level_factor,
         )
-        estimator = LEQAEstimator(params=params)
-        row = [label]
         for name in benchmarks:
-            estimate = estimator.estimate(circuits[name])
-            row.append(f"{estimate.latency_seconds:.3f}")
+            jobs.append(
+                Job(CircuitSpec(name), backend="leqa", params=params,
+                    tag=label)
+            )
+    runner = BatchRunner(workers=1)
+    results = runner.run(jobs)
+    failed = [p for p in results if not p.ok]
+    if failed:
+        for point in failed:
+            print(f"{point.job.tag}: {point.error}")
+        raise SystemExit(1)
+    points = iter(results)
+    rows = []
+    for label, _, _ in CODE_LEVELS:
+        row = [label]
+        for _ in benchmarks:
+            row.append(f"{next(points).result.latency_seconds:.3f}")
         rows.append(row)
     print(
         format_table(
@@ -70,8 +89,14 @@ def main() -> None:
             title="Estimated latency per error-correction code",
         )
     )
+    stats = runner.cache.stats()
     print(
-        "\nEach sweep point costs milliseconds; with a detailed mapper the "
+        f"\nengine cache: {stats.miss_count('ft')} FT syntheses and "
+        f"{stats.miss_count('iig')} IIG builds served all "
+        f"{len(jobs)} grid cells."
+    )
+    print(
+        "Each sweep point costs milliseconds; with a detailed mapper the "
         "same table would take a full scheduling/placement/routing run per "
         "cell.  The latency budget feeds back into how much error "
         "correction the program needs (the interdependency the paper's "

@@ -16,6 +16,11 @@ Quickstart::
     actual = map_circuit(circuit)            # detailed mapper, the slow way
     print(estimate.latency_seconds, actual.latency_seconds)
 
+Sweeps and comparisons route through the execution engine
+(:mod:`repro.engine`): backends behind one ``run(circuit)`` interface, a
+staged artifact cache, and a parallel :class:`BatchRunner` with
+deterministic result ordering.
+
 See README.md for the architecture overview, DESIGN.md for the system
 inventory and EXPERIMENTS.md for the paper-vs-measured record.
 """
@@ -41,9 +46,25 @@ from .circuits import (
     synthesize_ft,
 )
 from .core import LatencyEstimate, LEQAEstimator, estimate_latency
+from .engine import (
+    ArtifactCache,
+    Backend,
+    BackendResult,
+    BatchRunner,
+    CircuitSpec,
+    Job,
+    JobResult,
+    LEQABackend,
+    QSPRBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    sweep_fabric_sizes,
+)
 from .exceptions import (
     CircuitError,
     DecompositionError,
+    EngineError,
     EstimationError,
     FabricError,
     GraphError,
@@ -77,6 +98,20 @@ __all__ = [
     "LatencyEstimate",
     "LEQAEstimator",
     "estimate_latency",
+    "ArtifactCache",
+    "Backend",
+    "BackendResult",
+    "BatchRunner",
+    "CircuitSpec",
+    "Job",
+    "JobResult",
+    "LEQABackend",
+    "QSPRBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "sweep_fabric_sizes",
+    "EngineError",
     "CircuitError",
     "DecompositionError",
     "EstimationError",

@@ -16,6 +16,7 @@ program order per qubit.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -90,6 +91,8 @@ class Circuit:
         }
         self._gates: list[Gate] = []
         self._gates_view: tuple[Gate, ...] | None = None
+        # (num_qubits, gate_count, digest) — see content_fingerprint().
+        self._fingerprint: tuple[int, int, str] | None = None
 
     # -- qubit management ---------------------------------------------------
 
@@ -225,6 +228,32 @@ class Circuit:
             if gate.kind in ONE_QUBIT_FT_KINDS:
                 counts[gate.kind] += 1
         return dict(counts)
+
+    def content_fingerprint(self) -> str:
+        """Content hash of the register size and exact gate sequence.
+
+        Two circuits with identical registers and gate lists share a
+        fingerprint regardless of their names, which is what the engine's
+        artifact cache keys content-derived stages (IIG, presence zones)
+        on.  The digest is computed lazily and cached; it stays valid
+        because gates are immutable and the container only ever *grows*
+        (``append``/``extend``/``add_qubit``), which is detected by the
+        ``(num_qubits, gate_count)`` version token.
+        """
+        token = (self.num_qubits, len(self._gates))
+        if self._fingerprint is not None and self._fingerprint[:2] == token:
+            return self._fingerprint[2]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(self.num_qubits).encode())
+        for gate in self._gates:
+            digest.update(gate.kind.value.encode())
+            digest.update(b"|")
+            digest.update(",".join(map(str, gate.controls)).encode())
+            digest.update(b";")
+            digest.update(",".join(map(str, gate.targets)).encode())
+        value = digest.hexdigest()
+        self._fingerprint = (*token, value)
+        return value
 
     def copy(self, name: str | None = None) -> "Circuit":
         """Return a shallow copy (gates are immutable so sharing is safe)."""

@@ -14,6 +14,12 @@ Subcommands
 ``compare``
     Run both and print the Table 2-style accuracy row.
 
+``sweep``
+    Run a batched fabric-size sweep through the execution engine
+    (:mod:`repro.engine`): one circuit, a grid of square fabrics, any
+    registered backend, with the FT netlist and IIG built once for the
+    whole grid.
+
 ``benchmarks``
     List the registered benchmark circuits.
 
@@ -26,15 +32,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
+import time
 
 from .analysis.errors import absolute_error_percent
 from .analysis.report import format_scientific
 from .circuits.circuit import Circuit
-from .circuits.library import BENCHMARKS, build
+from .circuits.library import BENCHMARKS
 from .circuits.decompose import synthesize_ft
-from .circuits.parser import read_qasm_lite, read_real
 from .core.estimator import LEQAEstimator
+from .engine import BatchRunner, CircuitSpec, backend_names, sweep_fabric_sizes
 from .exceptions import ReproError
 from .fabric.params import FabricSpec, PhysicalParams
 from .qspr.mapper import QSPRMapper
@@ -44,17 +50,7 @@ __all__ = ["main", "build_arg_parser"]
 
 def _load_circuit(source: str) -> Circuit:
     """Load a circuit from a benchmark name or a netlist path."""
-    if source in BENCHMARKS:
-        return build(source)
-    path = Path(source)
-    if not path.exists():
-        raise ReproError(
-            f"{source!r} is neither a registered benchmark nor a file; "
-            "run 'leqa benchmarks' for the registry"
-        )
-    if path.suffix == ".real":
-        return read_real(path)
-    return read_qasm_lite(path)
+    return CircuitSpec(source, ft=False).load()
 
 
 def _prepare_ft(circuit: Circuit) -> Circuit:
@@ -109,6 +105,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="leqa",
         description="LEQA latency estimation (DAC 2013 reproduction)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "example (batched engine sweep):\n"
+            "  leqa sweep gf2^16mult --sizes 20,40,60 --backend leqa "
+            "--workers 4\n"
+            "runs one benchmark over a fabric-size grid through the "
+            "execution engine;\nthe FT netlist and IIG are built once and "
+            "reused at every grid point.\nSee 'leqa sweep --help' for all "
+            "sweep options."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -151,6 +157,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "compare", help="run both and report the accuracy row"
     )
     _add_common_options(compare)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="batched fabric-size sweep through the execution engine",
+        description=(
+            "Evaluate one circuit across a grid of square fabric sizes "
+            "using the repro.engine batch runner.  The staged artifact "
+            "cache builds the FT netlist and interaction graph once for "
+            "the whole grid."
+        ),
+    )
+    _add_common_options(sweep)
+    sweep.add_argument(
+        "--sizes",
+        default="20,30,40,60,90",
+        help="comma-separated square fabric sizes (default 20,30,40,60,90)",
+    )
+    sweep.add_argument(
+        "--backend",
+        default="leqa",
+        choices=backend_names(),
+        help="registered engine backend to run (default: leqa)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers (0/1 = serial; default 1)",
+    )
+    sweep.add_argument(
+        "--executor",
+        default="thread",
+        choices=("serial", "thread", "process"),
+        help="batch executor (default: thread)",
+    )
 
     heatmap = subparsers.add_parser(
         "heatmap", help="render fabric heatmaps (coverage / mapper activity)"
@@ -242,6 +283,60 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        sizes = [int(token) for token in args.sizes.split(",") if token]
+    except ValueError:
+        raise ReproError(
+            f"--sizes must be comma-separated integers, got {args.sizes!r}"
+        ) from None
+    if not sizes:
+        raise ReproError("--sizes must name at least one fabric size")
+    runner = BatchRunner(workers=args.workers, executor=args.executor)
+    started = time.perf_counter()
+    results = sweep_fabric_sizes(
+        args.circuit,
+        sizes,
+        base_params=_params_from_args(args),
+        backend=args.backend,
+        runner=runner,
+    )
+    wall = time.perf_counter() - started
+    print(f"circuit            {args.circuit}")
+    print(f"backend            {args.backend}")
+    print(f"{'fabric':<10} {'latency (s)':<14} {'backend time (s)':<16}")
+    print("-" * 41)
+    failures = 0
+    for point in results:
+        if not point.ok:
+            failures += 1
+            print(f"{point.job.tag:<10} error: {point.error}")
+            continue
+        result = point.result
+        print(
+            f"{point.job.tag:<10} "
+            f"{format_scientific(result.latency_seconds):<14} "
+            f"{result.elapsed_seconds:<16.3f}"
+        )
+    print(
+        f"\nsweep wall time    {wall:.3f} s "
+        f"({len(results)} points, {args.executor} executor)"
+    )
+    # workers <= 1 degrades to the serial path, which shares the runner's
+    # cache even under --executor process; only a real pool hides stats.
+    if args.executor == "process" and args.workers > 1:
+        print("cache reuse        per-worker caches (process executor)")
+    else:
+        stats = runner.cache.stats()
+        print(
+            "cache reuse        "
+            f"ft x{stats.miss_count('ft')} built / x{stats.hit_count('ft')} "
+            f"reused, iig x{stats.miss_count('iig')} built / "
+            f"x{stats.hit_count('iig')} reused"
+        )
+    return 1 if failures else 0
+
+
 def _cmd_heatmap(args: argparse.Namespace) -> int:
     from .analysis.visualize import (
         congestion_heatmap,
@@ -283,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": _cmd_estimate,
         "map": _cmd_map,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
         "heatmap": _cmd_heatmap,
         "benchmarks": _cmd_benchmarks,
     }

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate, GateKind
@@ -224,7 +224,7 @@ class LEQAEstimator:
             return 0.0, tuple(surfaces)
         return weighted / total_surface, tuple(surfaces)
 
-    def node_delay(self, l_avg_cnot: float) -> "callable":
+    def node_delay(self, l_avg_cnot: float) -> Callable[[Gate], float]:
         """Per-gate delay callable for the routing-aware critical path.
 
         CNOT nodes cost ``d_CNOT + L_CNOT^avg``; one-qubit nodes cost
@@ -252,15 +252,27 @@ class LEQAEstimator:
 
     # -- entry points -------------------------------------------------------
 
-    def estimate(self, circuit: Circuit) -> LatencyEstimate:
+    def estimate(
+        self, circuit: Circuit, iig: IIG | None = None
+    ) -> LatencyEstimate:
         """Estimate the latency of an FT circuit (Algorithm 1).
 
         Uses the single-pass critical-path sweep, which is equivalent to
         (but faster than) materializing the QODG; use
         :meth:`estimate_qodg` to run against an explicit graph.
+
+        ``iig`` accepts a prebuilt interaction graph of the same circuit
+        (the engine's artifact cache passes one), skipping line 1 of the
+        algorithm; when omitted the IIG is built here.
         """
         started = time.perf_counter()
-        iig = build_iig(circuit)
+        if iig is None:
+            iig = build_iig(circuit)
+        elif iig.num_qubits != circuit.num_qubits:
+            raise EstimationError(
+                f"prebuilt IIG has {iig.num_qubits} qubits but the circuit "
+                f"has {circuit.num_qubits}; it belongs to a different circuit"
+            )
         return self._run(circuit, iig, started, qodg=None)
 
     def estimate_qodg(self, qodg: QODG, iig: IIG | None = None) -> LatencyEstimate:
@@ -307,11 +319,20 @@ def estimate_latency(
     params: PhysicalParams = DEFAULT_PARAMS,
     max_sq_terms: int | None = DEFAULT_MAX_TERMS,
     strict_small_zones: bool = True,
+    truncation_guard: bool = True,
+    queue_model: str = "mm1",
 ) -> LatencyEstimate:
-    """One-shot convenience wrapper around :class:`LEQAEstimator`."""
+    """One-shot convenience wrapper around :class:`LEQAEstimator`.
+
+    Exposes the full estimator configuration, including the
+    ``truncation_guard`` robustness fallback and the ``queue_model``
+    choice (``"mm1"``, the paper's, or ``"md1"``).
+    """
     estimator = LEQAEstimator(
         params=params,
         max_sq_terms=max_sq_terms,
         strict_small_zones=strict_small_zones,
+        truncation_guard=truncation_guard,
+        queue_model=queue_model,
     )
     return estimator.estimate(circuit)

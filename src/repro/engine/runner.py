@@ -1,0 +1,231 @@
+"""Parallel batch execution of backend jobs with deterministic ordering.
+
+A :class:`Job` is one point of a sweep grid — circuit spec x physical
+parameters x backend (x backend options).  :class:`BatchRunner` executes
+any iterable of jobs and returns one :class:`JobResult` per job **in
+submission order**, whatever order the workers finish in, so downstream
+tables and assertions never depend on scheduling noise.
+
+Three executors are supported:
+
+``serial``
+    In-process loop; also what ``workers <= 1`` degrades to.  All jobs
+    share the runner's :class:`~repro.engine.cache.ArtifactCache`.
+``thread``
+    ``concurrent.futures.ThreadPoolExecutor`` (default).  The shared
+    cache makes every staged artifact build exactly once across the
+    batch; threads overlap the pure-Python work only modestly (GIL) but
+    keep memory shared.
+``process``
+    ``concurrent.futures.ProcessPoolExecutor`` for CPU-bound grids.
+    Each worker process lazily creates its own cache, so staged reuse is
+    per worker rather than global; jobs and results cross the pickle
+    boundary.  Workers resolve backend names against their own freshly
+    imported registry, so jobs may only name built-in backends or ones
+    registered at import time (e.g. from a module imported by the job's
+    code path) — backends registered at runtime in the parent process
+    come back as failed points under this executor.
+
+A failing job never kills the batch: its exception is captured on the
+:class:`JobResult` (``ok`` is ``False``) and the remaining jobs proceed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import EngineError, ReproError
+from ..fabric.params import DEFAULT_PARAMS, PhysicalParams
+from .backend import BackendResult, get_backend
+from .cache import ArtifactCache
+from .spec import CircuitSpec
+
+__all__ = ["Job", "JobResult", "BatchRunner", "sweep_fabric_sizes"]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of batch work: evaluate a circuit under one configuration.
+
+    Attributes
+    ----------
+    spec:
+        Which circuit to build (and at what preparation level).
+    backend:
+        Registry name of the backend to run (see
+        :func:`repro.engine.backend.get_backend`).
+    params:
+        Physical parameter set for this point.
+    options:
+        Extra keyword options forwarded to the backend factory.
+    tag:
+        Free-form label carried through to the result (e.g. the swept
+        value), handy when rendering grids.
+    """
+
+    spec: CircuitSpec
+    backend: str = "leqa"
+    params: PhysicalParams = DEFAULT_PARAMS
+    options: Mapping[str, object] = field(default_factory=dict)
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job, in its submission slot.
+
+    Exactly one of ``result`` and ``error`` is set; ``index`` is the
+    job's position in the submitted batch.
+    """
+
+    job: Job
+    index: int
+    result: BackendResult | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a result."""
+        return self.result is not None
+
+
+def _run_job(job: Job, cache: ArtifactCache) -> BackendResult:
+    """Build the job's circuit through the cache and run its backend."""
+    if job.spec.ft:
+        circuit = cache.ft_circuit(job.spec)
+    else:
+        circuit = cache.circuit(job.spec)
+    backend = get_backend(
+        job.backend, params=job.params, cache=cache, **dict(job.options)
+    )
+    return backend.run(circuit)
+
+
+def _guarded_job(job: Job, index: int, cache: ArtifactCache) -> JobResult:
+    """Run one job, converting any failure into a failed JobResult.
+
+    Catches ``Exception`` broadly, not just :class:`ReproError`: a typo'd
+    option key surfaces as a ``TypeError`` from the backend constructor,
+    and one bad grid point must never discard the rest of the batch.
+    """
+    try:
+        return JobResult(job=job, index=index, result=_run_job(job, cache))
+    except Exception as error:  # noqa: BLE001 — batch isolation by design
+        detail = str(error) or repr(error)
+        if not isinstance(error, ReproError):
+            detail = f"{type(error).__name__}: {detail}"
+        return JobResult(job=job, index=index, error=detail)
+
+
+# Per-process cache for the "process" executor, created lazily in each
+# worker (module globals survive across tasks within one worker).
+_WORKER_CACHE: ArtifactCache | None = None
+
+
+def _process_entry(job: Job, index: int) -> JobResult:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = ArtifactCache()
+    return _guarded_job(job, index, _WORKER_CACHE)
+
+
+class BatchRunner:
+    """Execute a grid of jobs with bounded parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None`` lets ``concurrent.futures`` pick,
+        ``0``/``1`` run serially (no pool at all).
+    executor:
+        ``"serial"``, ``"thread"`` (default) or ``"process"``.
+    cache:
+        Artifact cache shared by the batch (serial/thread executors).  A
+        fresh private cache is created when omitted.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        executor: str = "thread",
+        cache: ArtifactCache | None = None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            choices = ", ".join(_EXECUTORS)
+            raise EngineError(
+                f"unknown executor {executor!r}; choose one of: {choices}"
+            )
+        if workers is not None and workers < 0:
+            raise EngineError(f"workers must be >= 0, got {workers}")
+        self._workers = workers
+        self._executor = executor
+        self._cache = cache if cache is not None else ArtifactCache()
+
+    @property
+    def cache(self) -> ArtifactCache:
+        """The artifact cache serial/thread batches share."""
+        return self._cache
+
+    def run(self, jobs: Iterable[Job]) -> list[JobResult]:
+        """Execute every job; results come back in submission order."""
+        batch: Sequence[Job] = list(jobs)
+        if not batch:
+            return []
+        serial = self._executor == "serial" or (
+            self._workers is not None and self._workers <= 1
+        )
+        if serial:
+            return [
+                _guarded_job(job, index, self._cache)
+                for index, job in enumerate(batch)
+            ]
+        if self._executor == "thread":
+            pool_cls = concurrent.futures.ThreadPoolExecutor
+            entry = lambda job, index: _guarded_job(job, index, self._cache)
+        else:
+            pool_cls = concurrent.futures.ProcessPoolExecutor
+            entry = _process_entry
+        results: list[JobResult | None] = [None] * len(batch)
+        with pool_cls(max_workers=self._workers) as pool:
+            futures = {
+                pool.submit(entry, job, index): index
+                for index, job in enumerate(batch)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                outcome = future.result()
+                results[outcome.index] = outcome
+        return [result for result in results if result is not None]
+
+
+def sweep_fabric_sizes(
+    source: str,
+    sizes: Iterable[int],
+    base_params: PhysicalParams = DEFAULT_PARAMS,
+    backend: str = "leqa",
+    runner: BatchRunner | None = None,
+    **options: object,
+) -> list[JobResult]:
+    """Evaluate one circuit across square fabric sizes (section 3.3 usage).
+
+    The shared artifact cache makes this the cheap version of the
+    fabric-sizing loop: the FT netlist and IIG are built once and reused
+    at every grid point, because only ``params.fabric`` varies.
+    """
+    spec = CircuitSpec(source)
+    jobs = [
+        Job(
+            spec=spec,
+            backend=backend,
+            params=base_params.with_fabric(size, size),
+            options=dict(options),
+            tag=f"{size}x{size}",
+        )
+        for size in sizes
+    ]
+    if runner is None:
+        runner = BatchRunner(workers=1)
+    return runner.run(jobs)

@@ -1,0 +1,80 @@
+"""Declarative circuit specifications for the execution engine.
+
+A :class:`CircuitSpec` names a circuit *by value* — a registered benchmark
+id or a netlist path plus the preparation flags — instead of holding the
+built :class:`~repro.circuits.circuit.Circuit` object.  That makes a spec
+
+* **hashable**, so the artifact cache can key build products on it,
+* **picklable**, so :class:`~repro.engine.runner.BatchRunner` jobs can be
+  shipped to worker processes, and
+* **cheap**, so a thousand-job grid costs nothing until the (cached)
+  builds actually run.
+
+The recognition rules match the CLI: a registered benchmark name wins,
+otherwise the source is treated as a netlist path (``.real`` for the
+RevLib subset, anything else as qasm-lite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..circuits.circuit import Circuit
+from ..circuits.decompose import synthesize_ft
+from ..circuits.library import BENCHMARKS, build
+from ..circuits.parser import read_qasm_lite, read_real
+from ..exceptions import EngineError
+
+__all__ = ["CircuitSpec"]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One circuit the engine can build on demand.
+
+    Attributes
+    ----------
+    source:
+        Registered benchmark name (see ``repro.circuits.library``) or a
+        netlist file path.
+    ft:
+        When ``True`` (default) the engine works with the fault-tolerant
+        netlist (the paper's decomposition flow applied on top of the
+        synthesis-level circuit).
+    share_ancillas:
+        Forwarded to :func:`~repro.circuits.decompose.synthesize_ft`.
+    """
+
+    source: str
+    ft: bool = True
+    share_ancillas: bool = False
+
+    def load(self) -> Circuit:
+        """Build the synthesis-level circuit this spec names.
+
+        Raises
+        ------
+        EngineError
+            If the source is neither a registered benchmark nor a file.
+        """
+        if self.source in BENCHMARKS:
+            return build(self.source)
+        path = Path(self.source)
+        if not path.exists():
+            raise EngineError(
+                f"{self.source!r} is neither a registered benchmark nor a "
+                "file; run 'leqa benchmarks' for the registry"
+            )
+        if path.suffix == ".real":
+            return read_real(path)
+        return read_qasm_lite(path)
+
+    def build(self) -> Circuit:
+        """Build the circuit at the preparation level this spec asks for."""
+        circuit = self.load()
+        if self.ft and not circuit.is_ft():
+            circuit = synthesize_ft(
+                circuit, share_ancillas=self.share_ancillas
+            )
+        return circuit

@@ -65,3 +65,12 @@ class MappingError(ReproError):
     Examples include a circuit with more logical qubits than the fabric has
     ULBs, or an unroutable configuration.
     """
+
+
+class EngineError(ReproError):
+    """Raised by the execution engine (:mod:`repro.engine`).
+
+    Examples include requesting an unregistered backend, registering a
+    backend under a name that is already taken, or configuring a
+    :class:`~repro.engine.runner.BatchRunner` with an unknown executor.
+    """

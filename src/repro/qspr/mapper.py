@@ -20,7 +20,7 @@ from ..circuits.circuit import Circuit
 from ..exceptions import MappingError
 from ..fabric.params import DEFAULT_PARAMS, PhysicalParams
 from ..fabric.tqa import TQA
-from ..qodg.iig import build_iig
+from ..qodg.iig import IIG, build_iig
 from .placement import make_placement
 from .scheduling import ScheduleResult, schedule_circuit
 
@@ -106,15 +106,26 @@ class QSPRMapper:
         """The physical parameter set in use."""
         return self._params
 
-    def map(self, circuit: Circuit) -> MappingResult:
-        """Map an FT circuit onto the TQA and measure its actual latency."""
+    def map(self, circuit: Circuit, iig: IIG | None = None) -> MappingResult:
+        """Map an FT circuit onto the TQA and measure its actual latency.
+
+        ``iig`` accepts a prebuilt interaction graph of the same circuit
+        (the engine's artifact cache passes one) to skip rebuilding it for
+        the initial placement.
+        """
         if not circuit.is_ft():
             raise MappingError(
                 "the mapper requires a fault-tolerant circuit; run "
                 "synthesize_ft() first"
             )
         started = time.perf_counter()
-        iig = build_iig(circuit)
+        if iig is None:
+            iig = build_iig(circuit)
+        elif iig.num_qubits != circuit.num_qubits:
+            raise MappingError(
+                f"prebuilt IIG has {iig.num_qubits} qubits but the circuit "
+                f"has {circuit.num_qubits}; it belongs to a different circuit"
+            )
         tqa = TQA(self._params.fabric)
         placement = make_placement(self._placement, iig, tqa, seed=self._seed)
         schedule = schedule_circuit(

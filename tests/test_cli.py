@@ -116,6 +116,48 @@ class TestHeatmap:
         assert "operand hops" in out
 
 
+class TestSweep:
+    def test_fabric_size_sweep(self, capsys):
+        code, out, _ = run_cli(capsys, "sweep", "ham3", "--sizes", "6,8,10")
+        assert code == 0
+        assert "6x6" in out and "10x10" in out
+        # The engine's staged cache builds the netlist and IIG once.
+        assert "ft x1 built / x2 reused" in out
+        assert "iig x1 built / x2 reused" in out
+
+    def test_backend_selection(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "ham3", "--sizes", "8", "--backend", "leqa-md1"
+        )
+        assert code == 0
+        assert "leqa-md1" in out
+
+    def test_parallel_workers_keep_order(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "ham3", "--sizes", "6,8,10", "--workers", "3"
+        )
+        assert code == 0
+        assert out.index("6x6") < out.index("8x8") < out.index("10x10")
+
+    def test_bad_sizes_fail_gracefully(self, capsys):
+        code, _, err = run_cli(capsys, "sweep", "ham3", "--sizes", "6,huge")
+        assert code == 1
+        assert "comma-separated integers" in err
+
+    def test_unknown_circuit_fails_gracefully(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "no_such_benchmark", "--sizes", "8"
+        )
+        assert code == 1
+        assert "error" in out
+
+    def test_help_epilog_mentions_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "leqa sweep" in out
+
+
 class TestBenchmarks:
     def test_lists_registry(self, capsys):
         code, out, _ = run_cli(capsys, "benchmarks")
