@@ -26,6 +26,7 @@ from repro.analysis.calibration import calibrate_qubit_speed
 from repro.circuits.circuit import Circuit
 from repro.circuits.library import PAPER_TABLE3_ORDER
 from repro.core.estimator import LatencyEstimate
+from repro.core.pipeline import StagedPipeline, SweepPoint
 from repro.engine import ArtifactCache, CircuitSpec, get_backend
 from repro.fabric.params import DEFAULT_PARAMS, PhysicalParams
 from repro.qspr.mapper import MappingResult
@@ -86,3 +87,20 @@ def estimated(name: str) -> LatencyEstimate:
         "leqa", params=calibrated_params(), cache=ENGINE_CACHE
     )
     return backend.run(ft_circuit(name)).detail
+
+
+def staged_pipeline(**options: object) -> StagedPipeline:
+    """A staged pipeline over the session cache (default LEQA options).
+
+    The parameter-sensitivity and fabric-size benches evaluate their
+    grids through this: one batched critical-path pass per grid, with
+    zones/Hamiltonian/coverage stages shared session-wide.
+    """
+    return StagedPipeline(cache=ENGINE_CACHE, **options)
+
+
+def sweep_points(
+    name: str, grid: list[PhysicalParams], **options: object
+) -> list[SweepPoint]:
+    """Batched pipeline sweep of one benchmark over a parameter grid."""
+    return staged_pipeline(**options).sweep(ft_circuit(name), grid)

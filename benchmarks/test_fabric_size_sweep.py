@@ -6,9 +6,12 @@ the optimal size for the fabric which results in the minimum delay."
 This bench exercises that use case: LEQA estimates one benchmark across a
 range of square fabric sizes and reports the latency curve.  Small
 fabrics congest (many overlapping presence zones push past N_c); very
-large fabrics stop helping once overlaps vanish.  Asserted shape: the
-curve is non-increasing from the smallest fabric to the best one, and the
-marginal gain saturates.
+large fabrics stop helping once overlaps vanish.  The grid runs as one
+batched staged-pipeline sweep (:func:`_common.sweep_points`): zones and
+Hamiltonian paths are built once, only the fabric-reading stages
+(coverage, queueing) re-run per size, and all critical paths evaluate in
+a single batched pass.  Asserted shape: the curve is non-increasing from
+the smallest fabric to the best one, and the marginal gain saturates.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from repro.analysis.report import format_scientific, format_table
 from repro.core.estimator import LEQAEstimator
 from repro.fabric.params import FabricSpec
 
-from _common import calibrated_params, ft_circuit
+from _common import calibrated_params, ft_circuit, sweep_points
 
 BENCH = "hwb20ps"  # 265 qubits: congestion visible on small fabrics
 SIZES = (8, 12, 20, 30, 60, 120)
@@ -28,20 +31,23 @@ SIZES = (8, 12, 20, 30, 60, 120)
 def test_fabric_size_sweep(benchmark):
     base = calibrated_params()
     circuit = ft_circuit(BENCH)
+    grid = [
+        dataclasses.replace(base, fabric=FabricSpec(size, size))
+        for size in SIZES
+    ]
+    points = sweep_points(BENCH, grid)
     latencies = {}
     routing = {}
     rows = []
-    for size in SIZES:
-        params = dataclasses.replace(base, fabric=FabricSpec(size, size))
-        estimate = LEQAEstimator(params=params).estimate(circuit)
-        latencies[size] = estimate.latency_seconds
-        routing[size] = estimate.l_avg_cnot
+    for size, point in zip(SIZES, points):
+        latencies[size] = point.latency_seconds
+        routing[size] = point.l_avg_cnot
         rows.append(
             [
                 f"{size} x {size}",
                 size * size,
-                format_scientific(estimate.latency_seconds),
-                f"{estimate.l_avg_cnot:.1f}",
+                format_scientific(point.latency_seconds),
+                f"{point.l_avg_cnot:.1f}",
             ]
         )
     print()

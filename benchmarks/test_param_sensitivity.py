@@ -7,10 +7,14 @@ DESIGN.md calls out two model knobs worth ablating:
 * ``v`` — the qubit speed, the 1/v scale factor on every routing latency
   and the paper's designated mapper-tuning knob.
 
-The bench sweeps both on a congestion-prone benchmark and prints the
-resulting ``L_CNOT^avg`` and total latency.  Asserted shape: latency is
-non-increasing in both ``N_c`` and ``v``, and exactly inversely
-proportional to ``v`` in its routing component.
+Both sweeps run through the staged pipeline
+(:func:`_common.sweep_points`): each grid is one batched evaluation in
+which the zones, Hamiltonian-path and coverage stages are computed once
+— a capacity-only grid additionally reuses the uncongested latency at
+every point, and a speed-only grid the coverage series (the stage graph
+declares exactly which slice each stage reads).  Asserted shape:
+latency is non-increasing in both ``N_c`` and ``v``, and exactly
+inversely proportional to ``v`` in its routing component.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from repro.analysis.report import format_scientific, format_table
 from repro.core.estimator import LEQAEstimator
 from repro.fabric.params import FabricSpec
 
-from _common import calibrated_params, ft_circuit
+from _common import calibrated_params, ft_circuit, sweep_points
 
 BENCH = "hwb15ps"
 CAPACITIES = (1, 2, 5, 10, 20)
@@ -35,18 +39,20 @@ def test_channel_capacity_sensitivity(benchmark):
         calibrated_params(), fabric=FabricSpec(20, 20)
     )  # small fabric: congestion visible
     circuit = ft_circuit(BENCH)
-    rows, l_values = [], []
-    for capacity in CAPACITIES:
-        params = dataclasses.replace(base, channel_capacity=capacity)
-        estimate = LEQAEstimator(params=params).estimate(circuit)
-        l_values.append(estimate.l_avg_cnot)
-        rows.append(
-            [
-                capacity,
-                f"{estimate.l_avg_cnot:.1f}",
-                format_scientific(estimate.latency_seconds),
-            ]
-        )
+    grid = [
+        dataclasses.replace(base, channel_capacity=capacity)
+        for capacity in CAPACITIES
+    ]
+    points = sweep_points(BENCH, grid)
+    l_values = [point.l_avg_cnot for point in points]
+    rows = [
+        [
+            capacity,
+            f"{point.l_avg_cnot:.1f}",
+            format_scientific(point.latency_seconds),
+        ]
+        for capacity, point in zip(CAPACITIES, points)
+    ]
     print()
     print(
         format_table(
@@ -73,21 +79,22 @@ def test_qubit_speed_sensitivity(benchmark):
         rounds=3,
         iterations=1,
     )
+    grid = [
+        dataclasses.replace(base, qubit_speed=base.qubit_speed * factor)
+        for factor in SPEED_FACTORS
+    ]
+    points = sweep_points(BENCH, grid)
     rows = []
-    for factor in SPEED_FACTORS:
-        params = dataclasses.replace(
-            base, qubit_speed=base.qubit_speed * factor
-        )
-        estimate = LEQAEstimator(params=params).estimate(circuit)
+    for factor, point in zip(SPEED_FACTORS, points):
         rows.append(
             [
                 f"{factor:.2f} v0",
-                f"{estimate.l_avg_cnot:.1f}",
-                format_scientific(estimate.latency_seconds),
+                f"{point.l_avg_cnot:.1f}",
+                format_scientific(point.latency_seconds),
             ]
         )
         # L_CNOT^avg scales exactly as 1/v.
-        assert estimate.l_avg_cnot == pytest.approx(
+        assert point.l_avg_cnot == pytest.approx(
             reference.l_avg_cnot / factor, rel=1e-9
         )
     print()

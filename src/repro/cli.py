@@ -192,6 +192,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         choices=("serial", "thread", "process"),
         help="batch executor (default: thread)",
     )
+    sweep.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help=(
+            "print per-stage hit/miss counts of the engine's staged "
+            "artifact cache after the sweep"
+        ),
+    )
 
     heatmap = subparsers.add_parser(
         "heatmap", help="render fabric heatmaps (coverage / mapper activity)"
@@ -324,16 +332,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     # workers <= 1 degrades to the serial path, which shares the runner's
     # cache even under --executor process; only a real pool hides stats.
-    if args.executor == "process" and args.workers > 1:
+    hidden = args.executor == "process" and args.workers > 1
+    if hidden:
         print("cache reuse        per-worker caches (process executor)")
-    else:
-        stats = runner.cache.stats()
-        print(
-            "cache reuse        "
-            f"ft x{stats.miss_count('ft')} built / x{stats.hit_count('ft')} "
-            f"reused, iig x{stats.miss_count('iig')} built / "
-            f"x{stats.hit_count('iig')} reused"
-        )
+        if args.cache_stats:
+            print(
+                "\ncache stats unavailable: each worker process holds its "
+                "own cache"
+            )
+        return 1 if failures else 0
+    stats = runner.cache.stats()
+    print(
+        "cache reuse        "
+        f"ft x{stats.miss_count('ft')} built / x{stats.hit_count('ft')} "
+        f"reused, iig x{stats.miss_count('iig')} built / "
+        f"x{stats.hit_count('iig')} reused"
+    )
+    if args.cache_stats:
+        from .engine.cache import STAGE_NAMES
+
+        print(f"\n{'stage':<10} {'hits':>6} {'misses':>8}")
+        print("-" * 26)
+        for stage in STAGE_NAMES:
+            print(
+                f"{stage:<10} {stats.hit_count(stage):>6} "
+                f"{stats.miss_count(stage):>8}"
+            )
     return 1 if failures else 0
 
 

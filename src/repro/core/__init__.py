@@ -9,14 +9,30 @@ from .coverage import (
     zone_side,
 )
 from .estimator import LatencyEstimate, LEQAEstimator, estimate_latency
+from .pipeline import (
+    PARAM_ASPECTS,
+    STAGE_GRAPH,
+    STAGE_ORDER,
+    StagedPipeline,
+    StageSpec,
+    SweepPoint,
+    ZoneArrays,
+    param_slice,
+    stage_reads,
+    stages_invalidated_by,
+    sweep_estimates,
+)
 from .presence import PresenceZones, QubitZone, compute_zones, zone_area
 from .queueing import (
     arrival_rate,
     average_wait,
     congested_latency,
     congested_latency_md1,
+    congested_latencies,
+    congested_latencies_md1,
     latency_profile,
     service_rate,
+    vectorized_queue_model,
 )
 from .validation import (
     CoverageSimulation,
@@ -27,6 +43,7 @@ from .validation import (
 )
 from .tsp import (
     expected_hamiltonian_path,
+    expected_hamiltonian_paths,
     tsp_tour_estimate,
     tsp_tour_lower_bound,
     tsp_tour_upper_bound,

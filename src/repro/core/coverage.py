@@ -172,28 +172,36 @@ def _surface_terms(
     values: np.ndarray,
     counts: np.ndarray,
 ) -> np.ndarray:
-    """Vectorized Eq. 4 over multiple ``q`` values (log-space binomials)."""
+    """Vectorized Eq. 4 over multiple ``q`` values (log-space binomials).
+
+    All requested overlap counts are evaluated in a single 2D log-space
+    expression ``log C(Q,q) + q log P + (Q-q) log(1-P)`` of shape
+    ``(len(overlaps), len(values))``, folded over the distinct-probability
+    histogram with one matrix-vector product — no per-``q`` Python loop.
+    """
+    overlaps = np.asarray(overlaps)
     results = np.zeros(len(overlaps))
     # Split degenerate probabilities to keep the log-space path finite.
     interior = (values > 0.0) & (values < 1.0)
     vals = values[interior]
     cnts = counts[interior]
-    log_vals = np.log(vals)
-    log_complements = np.log1p(-vals)
+    if len(vals) and len(overlaps):
+        qs = overlaps.astype(float)
+        log_choose = np.array(
+            [_log_binomial(num_zones, int(q)) for q in overlaps]
+        )
+        log_terms = (
+            log_choose[:, None]
+            + qs[:, None] * np.log(vals)[None, :]
+            + (num_zones - qs)[:, None] * np.log1p(-vals)[None, :]
+        )
+        results += np.exp(log_terms) @ cnts
     ones_count = float(counts[values >= 1.0].sum())
     zeros_count = float(counts[values <= 0.0].sum())
-    for idx, q in enumerate(overlaps):
-        q = int(q)
-        log_choose = _log_binomial(num_zones, q)
-        if len(vals):
-            log_terms = (
-                log_choose + q * log_vals + (num_zones - q) * log_complements
-            )
-            results[idx] += float(np.dot(cnts, np.exp(log_terms)))
-        if q == num_zones:
-            results[idx] += ones_count
-        if q == 0:
-            results[idx] += zeros_count
+    if ones_count:
+        results[overlaps == num_zones] += ones_count
+    if zeros_count:
+        results[overlaps == 0] += zeros_count
     return results
 
 

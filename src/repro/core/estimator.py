@@ -19,16 +19,26 @@ Pipeline, with the paper's line numbers:
 The estimate object keeps every intermediate quantity so benches and tests
 can inspect the model, plus the wall-clock time used (the paper's Table 3
 compares estimator runtime against the mapper's).
+
+Since the staged-pipeline refactor the default execution path is the
+numpy-vectorized stage graph of :mod:`repro.core.pipeline`
+(``vectorized=True``); the scalar per-qubit methods on
+:class:`LEQAEstimator` remain the paper-faithful **reference oracle**
+(``vectorized=False``), and property tests assert both paths agree to
+1e-9 on random circuits.  Passing a ``cache``
+(:class:`~repro.engine.cache.ArtifactCache`) memoizes every pipeline
+stage under parameter-aware keys, so repeated estimates across a sweep
+skip all stages whose parameter slice did not change.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import Gate, GateKind
+from ..circuits.gates import Gate
 from ..exceptions import EstimationError
 from ..fabric.params import DEFAULT_PARAMS, PhysicalParams
 from ..qodg.critical_path import CriticalPathResult, critical_path
@@ -113,6 +123,15 @@ class LEQAEstimator:
         Channel-congestion model: ``"mm1"`` (Eq. 8, the paper's) or
         ``"md1"`` (deterministic service; see
         :func:`repro.core.queueing.congested_latency_md1`).
+    vectorized:
+        When ``True`` (default), :meth:`estimate` evaluates the numpy
+        stage graph of :mod:`repro.core.pipeline`; ``False`` runs the
+        scalar per-qubit reference loops (the oracle the property tests
+        compare against).  Both agree to 1e-9.
+    cache:
+        Optional :class:`~repro.engine.cache.ArtifactCache`; when given,
+        every vectorized stage is memoized under its parameter-slice key
+        so sweeps sharing the cache skip unchanged stages.
     """
 
     def __init__(
@@ -122,6 +141,8 @@ class LEQAEstimator:
         strict_small_zones: bool = True,
         truncation_guard: bool = True,
         queue_model: str = "mm1",
+        vectorized: bool = True,
+        cache: object | None = None,
     ) -> None:
         if queue_model == "mm1":
             self._congested_latency = congested_latency
@@ -136,11 +157,29 @@ class LEQAEstimator:
         self._strict = strict_small_zones
         self._truncation_guard = truncation_guard
         self._queue_model = queue_model
+        self._vectorized = vectorized
+        self._cache = cache
+        self._pipeline = None
 
     @property
     def params(self) -> PhysicalParams:
         """The physical parameter set in use."""
         return self._params
+
+    def pipeline(self):
+        """The :class:`~repro.core.pipeline.StagedPipeline` this estimator
+        evaluates in vectorized mode (built lazily, shares the cache)."""
+        if self._pipeline is None:
+            from .pipeline import StagedPipeline
+
+            self._pipeline = StagedPipeline(
+                max_sq_terms=self._max_sq_terms,
+                strict_small_zones=self._strict,
+                truncation_guard=self._truncation_guard,
+                queue_model=self._queue_model,
+                cache=self._cache,
+            )
+        return self._pipeline
 
     # -- model stages (exposed for tests and ablations) --------------------
 
@@ -230,25 +269,12 @@ class LEQAEstimator:
         CNOT nodes cost ``d_CNOT + L_CNOT^avg``; one-qubit nodes cost
         ``d_g + 2 T_move``.  The routing additions are folded into a
         per-kind table once so the per-gate call is a single lookup.
+        Delegates to the pipeline's shared table builder so the scalar
+        oracle and the vectorized stage graph apply one rule.
         """
-        one_qubit_routing = self._params.one_qubit_routing_latency
-        table: dict[GateKind, float] = {}
-        for kind, base in self._params.delays.by_kind().items():
-            if kind is GateKind.CNOT:
-                table[kind] = base + l_avg_cnot
-            else:
-                table[kind] = base + one_qubit_routing
+        from .pipeline import _delay_callable, _node_delay_table
 
-        def delay(gate: Gate) -> float:
-            try:
-                return table[gate.kind]
-            except KeyError:
-                raise EstimationError(
-                    f"gate kind {gate.kind.value!r} is not an FT operation; "
-                    "run synthesize_ft() before estimating"
-                ) from None
-
-        return delay
+        return _delay_callable(_node_delay_table(self._params, l_avg_cnot))
 
     # -- entry points -------------------------------------------------------
 
@@ -266,18 +292,26 @@ class LEQAEstimator:
         algorithm; when omitted the IIG is built here.
         """
         started = time.perf_counter()
-        if iig is None:
-            iig = build_iig(circuit)
-        elif iig.num_qubits != circuit.num_qubits:
+        if iig is not None and iig.num_qubits != circuit.num_qubits:
             raise EstimationError(
                 f"prebuilt IIG has {iig.num_qubits} qubits but the circuit "
                 f"has {circuit.num_qubits}; it belongs to a different circuit"
             )
+        if self._vectorized:
+            return self.pipeline().run(
+                circuit, self._params, iig=iig, started=started
+            )
+        if iig is None:
+            iig = build_iig(circuit)
         return self._run(circuit, iig, started, qodg=None)
 
     def estimate_qodg(self, qodg: QODG, iig: IIG | None = None) -> LatencyEstimate:
         """Estimate from a prebuilt QODG (and optionally a prebuilt IIG)."""
         started = time.perf_counter()
+        if self._vectorized:
+            return self.pipeline().run(
+                qodg.circuit, self._params, iig=iig, qodg=qodg, started=started
+            )
         if iig is None:
             iig = build_iig(qodg.circuit)
         return self._run(qodg.circuit, iig, started, qodg=qodg)
@@ -289,6 +323,9 @@ class LEQAEstimator:
         started: float,
         qodg: QODG | None,
     ) -> LatencyEstimate:
+        # Scalar reference path (vectorized=False): the paper's Algorithm 1
+        # with per-qubit Python loops, kept as the oracle the vectorized
+        # stage graph is property-tested against.
         zones = compute_zones(iig)                       # lines 1-3
         d_uncong = self.uncongested_latency(zones)       # lines 4-8
         l_avg_cnot, surfaces = self.average_cnot_latency(  # lines 9-18
@@ -321,12 +358,14 @@ def estimate_latency(
     strict_small_zones: bool = True,
     truncation_guard: bool = True,
     queue_model: str = "mm1",
+    vectorized: bool = True,
 ) -> LatencyEstimate:
     """One-shot convenience wrapper around :class:`LEQAEstimator`.
 
     Exposes the full estimator configuration, including the
-    ``truncation_guard`` robustness fallback and the ``queue_model``
-    choice (``"mm1"``, the paper's, or ``"md1"``).
+    ``truncation_guard`` robustness fallback, the ``queue_model``
+    choice (``"mm1"``, the paper's, or ``"md1"``) and the
+    ``vectorized``/scalar-oracle toggle.
     """
     estimator = LEQAEstimator(
         params=params,
@@ -334,5 +373,6 @@ def estimate_latency(
         strict_small_zones=strict_small_zones,
         truncation_guard=truncation_guard,
         queue_model=queue_model,
+        vectorized=vectorized,
     )
     return estimator.estimate(circuit)

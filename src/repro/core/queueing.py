@@ -17,6 +17,8 @@ tests and for the parameter-sensitivity ablation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .._validation import (
     require_non_negative_float,
     require_non_negative_int,
@@ -30,6 +32,9 @@ __all__ = [
     "average_wait",
     "congested_latency",
     "congested_latency_md1",
+    "congested_latencies",
+    "congested_latencies_md1",
+    "vectorized_queue_model",
     "latency_profile",
 ]
 
@@ -117,6 +122,53 @@ def congested_latency_md1(
         return d_uncong
     utilization = (1 + overlap) - ((1 + overlap) ** 2 - 2 * overlap) ** 0.5
     return overlap * d_uncong / (utilization * capacity)
+
+
+def congested_latencies(
+    overlaps: np.ndarray, d_uncong: float, capacity: int
+) -> np.ndarray:
+    """Vectorized Eq. 8 over an array of overlap counts ``q``.
+
+    Element-for-element identical to :func:`congested_latency` (same
+    floating-point operations), evaluated in one shot for the pipeline's
+    queueing stage.
+    """
+    require_positive_int(capacity, "capacity", EstimationError)
+    require_non_negative_float(d_uncong, "d_uncong", EstimationError)
+    overlaps = np.asarray(overlaps, dtype=float)
+    return np.where(
+        overlaps <= capacity,
+        d_uncong,
+        (1.0 + overlaps) * d_uncong / capacity,
+    )
+
+
+def congested_latencies_md1(
+    overlaps: np.ndarray, d_uncong: float, capacity: int
+) -> np.ndarray:
+    """Vectorized :func:`congested_latency_md1` over overlap counts."""
+    require_positive_int(capacity, "capacity", EstimationError)
+    require_non_negative_float(d_uncong, "d_uncong", EstimationError)
+    overlaps = np.asarray(overlaps, dtype=float)
+    loaded = 1.0 + overlaps
+    utilization = loaded - np.sqrt(loaded * loaded - 2.0 * overlaps)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        congested = overlaps * d_uncong / (utilization * capacity)
+    return np.where(overlaps <= capacity, d_uncong, congested)
+
+
+def vectorized_queue_model(model: str):
+    """The vectorized latency function for a queue-model name.
+
+    Mirrors the scalar dispatch of :func:`latency_profile`.
+    """
+    if model == "mm1":
+        return congested_latencies
+    if model == "md1":
+        return congested_latencies_md1
+    raise EstimationError(
+        f"unknown queue model {model!r}; choose 'mm1' or 'md1'"
+    )
 
 
 def latency_profile(

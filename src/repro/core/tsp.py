@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..exceptions import EstimationError
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "tsp_tour_upper_bound",
     "tsp_tour_estimate",
     "expected_hamiltonian_path",
+    "expected_hamiltonian_paths",
 ]
 
 #: (slope, intercept) of Eq. 13: lower bound on the unit-square TSP tour.
@@ -108,3 +111,37 @@ def expected_hamiltonian_path(
         return side * UNIT_SQUARE_MEAN_DISTANCE
     tour = tsp_tour_estimate(degree + 1)
     return side * tour * (degree - 1) / degree
+
+
+def expected_hamiltonian_paths(
+    degrees: np.ndarray, areas: np.ndarray, strict: bool = True
+) -> np.ndarray:
+    """Vectorized Eq. 15 over per-qubit ``(M_i, B_i)`` arrays.
+
+    Element-for-element identical to :func:`expected_hamiltonian_path`
+    (the same floating-point operations in the same order), so the
+    vectorized estimator stages can use it while the scalar function
+    remains the reference oracle.
+    """
+    degrees = np.asarray(degrees, dtype=float)
+    areas = np.asarray(areas, dtype=float)
+    if degrees.shape != areas.shape:
+        raise EstimationError(
+            f"degrees and areas must align, got {degrees.shape} "
+            f"vs {areas.shape}"
+        )
+    if np.any(degrees < 0):
+        raise EstimationError("degrees must be non-negative")
+    if np.any(areas <= 0):
+        raise EstimationError("zone areas must be positive")
+    side = np.sqrt(areas)
+    slope, intercept = TSP_MID_COEFFS
+    tour = slope * np.sqrt(degrees + 1.0) + intercept
+    with np.errstate(divide="ignore", invalid="ignore"):
+        paths = side * tour * (degrees - 1.0) / degrees
+    paths = np.where(degrees == 0.0, 0.0, paths)
+    if not strict:
+        paths = np.where(
+            degrees == 1.0, side * UNIT_SQUARE_MEAN_DISTANCE, paths
+        )
+    return paths

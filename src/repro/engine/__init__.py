@@ -39,7 +39,13 @@ from .backend import (
     get_backend,
     register_backend,
 )
-from .cache import ArtifactCache, CacheStats, circuit_fingerprint, params_fingerprint
+from .cache import (
+    STAGE_NAMES,
+    ArtifactCache,
+    CacheStats,
+    circuit_fingerprint,
+    params_fingerprint,
+)
 from .runner import BatchRunner, Job, JobResult, sweep_fabric_sizes
 from .spec import CircuitSpec
 
@@ -53,6 +59,7 @@ __all__ = [
     "register_backend",
     "ArtifactCache",
     "CacheStats",
+    "STAGE_NAMES",
     "circuit_fingerprint",
     "params_fingerprint",
     "BatchRunner",

@@ -18,9 +18,13 @@ estimator ablation shipped by default::
 
     register_backend("leqa-md1", lambda **kw: LEQABackend(queue_model="md1", **kw))
 
-Adapters accept an optional :class:`~repro.engine.cache.ArtifactCache`;
-when present, shared pipeline stages (today the IIG) are reused across
-runs instead of rebuilt per call.
+Adapters accept an optional :class:`~repro.engine.cache.ArtifactCache`.
+The LEQA adapter routes through the staged analytic pipeline
+(:mod:`repro.core.pipeline`): with a cache attached, every stage — IIG,
+zones, Hamiltonian paths, uncongested latency, coverage series, queueing
+— is memoized under its stage-relevant parameter fingerprint, so a batch
+whose points vary only downstream parameters skips every upstream stage.
+The QSPR adapter reuses the cached IIG.
 """
 
 from __future__ import annotations
@@ -112,7 +116,7 @@ class LEQABackend:
         cache: ArtifactCache | None = None,
         **options: object,
     ) -> None:
-        self._estimator = LEQAEstimator(params=params, **options)
+        self._estimator = LEQAEstimator(params=params, cache=cache, **options)
         self._cache = cache
 
     @property
@@ -121,7 +125,12 @@ class LEQABackend:
         return self._estimator.params
 
     def run(self, circuit: Circuit) -> BackendResult:
-        """Run LEQA, reusing the cached IIG when a cache is attached."""
+        """Run LEQA through the staged pipeline.
+
+        With a cache attached the IIG is fetched eagerly (so batch-level
+        reuse shows in the ``iig`` stage stats) and every downstream
+        stage is memoized under its parameter-slice key.
+        """
         iig = self._cache.iig(circuit) if self._cache is not None else None
         estimate: LatencyEstimate = self._estimator.estimate(circuit, iig=iig)
         return BackendResult(

@@ -16,11 +16,24 @@ stage          key
 ``iig``        content hash of the gate list
 ``zones``      content hash of the gate list
 ``coverage``   ``(num_zones, width, height, area, max_terms)``
+``ham``        content hash + estimator options
+``uncong``     content hash + options + the ``qubit_speed`` slice
+``queueing``   content hash + options + speed/fabric/capacity slices
+``ops``        content hash of the gate list
 =============  ======================================================
 
 so a fabric-size sweep reuses the netlist, IIG and zones across every
 point, and two specs that build byte-identical circuits share the
 downstream artifacts even if their sources differ.
+
+The last four stages belong to the staged analytic pipeline
+(:mod:`repro.core.pipeline`), which keys each entry by the
+*stage-relevant parameter fingerprint* — the slice of
+:class:`~repro.fabric.params.PhysicalParams` the stage transitively
+reads (:func:`repro.core.pipeline.param_slice`).  A sweep that varies
+only downstream parameters (say, gate delays) therefore skips every
+upstream stage; those entries are reached through the generic
+:meth:`ArtifactCache.stage` accessor.
 
 The cache is thread-safe and build-once under concurrency: per-key locks
 guarantee a stage is computed by exactly one thread while others wait for
@@ -46,6 +59,7 @@ from .spec import CircuitSpec
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "STAGE_NAMES",
     "circuit_fingerprint",
     "params_fingerprint",
 ]
@@ -53,7 +67,20 @@ __all__ = [
 _T = TypeVar("_T")
 
 #: Stage names in pipeline order (also the order ``CacheStats`` reports).
-_STAGES = ("circuit", "ft", "iig", "zones", "coverage")
+_STAGES = (
+    "circuit",
+    "ft",
+    "iig",
+    "zones",
+    "ham",
+    "uncong",
+    "coverage",
+    "queueing",
+    "ops",
+)
+
+#: Public alias of the stage-name tuple (CLI stats tables and tests).
+STAGE_NAMES = _STAGES
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
@@ -127,6 +154,32 @@ class ArtifactCache:
                 self._store[slot] = value
                 self._misses[stage] += 1
             return value
+
+    # -- generic stage access ----------------------------------------------
+
+    def stage(self, name: str, key: Hashable, builder: Callable[[], _T]) -> _T:
+        """Memoize an arbitrary pipeline stage under an explicit key.
+
+        The entry point :mod:`repro.core.pipeline` uses for its
+        parameter-aware stages: the caller supplies the key (typically a
+        circuit fingerprint plus the stage-relevant parameter slice) and
+        the builder runs at most once per key, with the same build-once
+        concurrency guarantee as the named accessors.
+
+        Raises
+        ------
+        EngineError
+            If ``name`` is not a known stage (stats would silently
+            miscount otherwise).
+        """
+        if name not in _STAGES:
+            from ..exceptions import EngineError
+
+            known = ", ".join(_STAGES)
+            raise EngineError(
+                f"unknown cache stage {name!r}; known stages: {known}"
+            )
+        return self._get_or_build(name, key, builder)
 
     # -- pipeline stages ----------------------------------------------------
 

@@ -27,12 +27,16 @@ Three executors are supported:
     come back as failed points under this executor.
 
 A failing job never kills the batch: its exception is captured on the
-:class:`JobResult` (``ok`` is ``False``) and the remaining jobs proceed.
+:class:`JobResult` (``ok`` is ``False``, ``error`` holds the summary and
+``traceback`` the full formatted traceback — captured as text in the
+worker, so it survives process-executor pickling) and the remaining jobs
+proceed.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -79,13 +83,18 @@ class JobResult:
     """Outcome of one job, in its submission slot.
 
     Exactly one of ``result`` and ``error`` is set; ``index`` is the
-    job's position in the submitted batch.
+    job's position in the submitted batch.  ``traceback`` accompanies
+    ``error`` with the full formatted traceback of the failure — plain
+    text, so it survives the pickle boundary of the process executor,
+    where the original exception object (and its ``__traceback__``)
+    never reaches the parent.
     """
 
     job: Job
     index: int
     result: BackendResult | None = None
     error: str | None = None
+    traceback: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -118,7 +127,12 @@ def _guarded_job(job: Job, index: int, cache: ArtifactCache) -> JobResult:
         detail = str(error) or repr(error)
         if not isinstance(error, ReproError):
             detail = f"{type(error).__name__}: {detail}"
-        return JobResult(job=job, index=index, error=detail)
+        return JobResult(
+            job=job,
+            index=index,
+            error=detail,
+            traceback=traceback_module.format_exc(),
+        )
 
 
 # Per-process cache for the "process" executor, created lazily in each

@@ -84,6 +84,26 @@ class IIG:
         self._check(qubit)
         return sum(self._adjacency[qubit].values())
 
+    def interaction_arrays(self):
+        """``(degrees, weights)`` over all qubits as numpy int64 arrays.
+
+        ``degrees[i] = M_i`` and ``weights[i] = sum_j w(e_ij)`` — the two
+        per-qubit quantities the vectorized estimator stages consume.
+        One pass over the adjacency rows, no per-qubit bounds checks.
+        """
+        import numpy as np
+
+        count = self._num_qubits
+        degrees = np.fromiter(
+            (len(row) for row in self._adjacency), dtype=np.int64, count=count
+        )
+        weights = np.fromiter(
+            (sum(row.values()) for row in self._adjacency),
+            dtype=np.int64,
+            count=count,
+        )
+        return degrees, weights
+
     def neighbors(self, qubit: int) -> tuple[int, ...]:
         """Interaction partners of the qubit."""
         self._check(qubit)

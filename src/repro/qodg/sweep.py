@@ -14,18 +14,145 @@ in operation count with a constant far below the detailed mapper's.
 :func:`sweep_critical_path` returns the same :class:`CriticalPathResult`
 as :func:`repro.qodg.critical_path.critical_path`; only tie-breaking
 between equally long paths may differ.
+
+Parameter sweeps add a second shape of demand: the *same* circuit under
+*many* per-kind delay tables (a Table-1 sensitivity grid, a fabric-size
+sweep — every point changes only the node delays reaching the critical
+path).  :func:`compile_ops` lowers the circuit once into a flat,
+parameter-free operand/kind table, and
+:func:`sweep_critical_path_lengths` runs the forward pass for all delay
+tables simultaneously — the per-qubit chain state becomes a
+``(num_qubits, num_tables)`` array and each gate is one ``maximum`` plus
+one add over the batch axis.  Per point this is several times cheaper
+than repeating the scalar sweep, and the per-point lengths are *bitwise*
+equal to it (same IEEE operations in the same order).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate, GateKind
 from ..exceptions import GraphError
 from .critical_path import CriticalPathResult
 
-__all__ = ["sweep_critical_path"]
+__all__ = [
+    "CompiledOps",
+    "compile_ops",
+    "sweep_critical_path",
+    "sweep_critical_path_lengths",
+]
+
+
+@dataclass(frozen=True)
+class CompiledOps:
+    """Parameter-free critical-path topology of one circuit.
+
+    The circuit's gate list lowered to primitive tuples the batched sweep
+    consumes without touching :class:`~repro.circuits.gates.Gate` objects:
+    ``ops[i] = (kind_index, qubit_a, qubit_b)`` with ``qubit_b = -1`` for
+    one-operand gates, and ``kinds[kind_index]`` the corresponding
+    :class:`GateKind`.  Depends only on circuit content, so the engine
+    cache can build it once per circuit and reuse it across every
+    parameter grid.
+    """
+
+    num_qubits: int
+    ops: tuple[tuple[int, int, int], ...]
+    kinds: tuple[GateKind, ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def compile_ops(circuit: Circuit) -> CompiledOps:
+    """Lower a circuit to the flat operand/kind table of the batched sweep.
+
+    Raises
+    ------
+    GraphError
+        If a gate touches more than two qubits (the FT gate set — the
+        only one the estimator accepts — is all one- and two-qubit
+        gates; decompose first).
+    """
+    kind_index: dict[GateKind, int] = {}
+    kinds: list[GateKind] = []
+    ops: list[tuple[int, int, int]] = []
+    for gate in circuit.gates:
+        operands = gate.controls + gate.targets
+        if len(operands) > 2:
+            raise GraphError(
+                f"compile_ops supports one- and two-qubit gates only; "
+                f"gate kind {gate.kind.value!r} touches {len(operands)} "
+                "qubits (run FT synthesis first)"
+            )
+        index = kind_index.get(gate.kind)
+        if index is None:
+            index = kind_index[gate.kind] = len(kinds)
+            kinds.append(gate.kind)
+        qubit_b = operands[1] if len(operands) == 2 else -1
+        ops.append((index, operands[0], qubit_b))
+    return CompiledOps(
+        num_qubits=circuit.num_qubits, ops=tuple(ops), kinds=tuple(kinds)
+    )
+
+
+def sweep_critical_path_lengths(
+    compiled: CompiledOps, delay_tables: np.ndarray | Sequence[Sequence[float]]
+) -> np.ndarray:
+    """Critical-path lengths of one circuit under many delay tables.
+
+    Parameters
+    ----------
+    compiled:
+        The circuit's :func:`compile_ops` topology.
+    delay_tables:
+        Array of shape ``(len(compiled.kinds), num_tables)``: row ``k``
+        holds the node delay of gate kind ``compiled.kinds[k]`` at every
+        sweep point (operation delay plus the point's routing latency).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``num_tables`` lengths; entry ``t`` is bitwise equal to
+        ``sweep_critical_path(circuit, delay_t).length`` for the delay
+        callable described by column ``t``.
+    """
+    tables = np.ascontiguousarray(delay_tables, dtype=float)
+    if tables.ndim != 2 or tables.shape[0] != len(compiled.kinds):
+        raise GraphError(
+            f"delay_tables must have shape ({len(compiled.kinds)}, "
+            f"num_tables), got {tables.shape}"
+        )
+    if tables.size and tables.min() < 0:
+        raise GraphError("negative delay in batched critical-path tables")
+    num_tables = tables.shape[1]
+    if not len(compiled.ops) or not compiled.num_qubits:
+        return np.zeros(num_tables)
+    # Chain state per qubit, batched over the table axis.  Kept as a
+    # list of row arrays so a gate's update *rebinds* its operand rows
+    # to the freshly allocated chain vector instead of copying into a
+    # 2D array — every row is written whole, never mutated, so sharing
+    # (including the single initial zero row) is safe.  Entries are
+    # non-decreasing, so the final elementwise maximum over rows is the
+    # overall longest-path length at every point.
+    zero = np.zeros(num_tables)
+    dist: list[np.ndarray] = [zero] * compiled.num_qubits
+    rows = [tables[index] for index in range(len(compiled.kinds))]
+    maximum = np.maximum
+    for kind, qubit_a, qubit_b in compiled.ops:
+        if qubit_b >= 0:
+            total = maximum(dist[qubit_a], dist[qubit_b])
+            total += rows[kind]
+            dist[qubit_a] = total
+            dist[qubit_b] = total
+        else:
+            dist[qubit_a] = dist[qubit_a] + rows[kind]
+    return np.max(np.vstack(dist), axis=0)
 
 
 def sweep_critical_path(

@@ -139,6 +139,24 @@ class TestSweep:
         assert code == 0
         assert out.index("6x6") < out.index("8x8") < out.index("10x10")
 
+    def test_cache_stats_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "ham3", "--sizes", "6,8,10", "--cache-stats"
+        )
+        assert code == 0
+        assert "stage" in out and "misses" in out
+        # Every pipeline stage appears, including the parameter-aware ones.
+        for stage in ("iig", "zones", "ham", "uncong", "queueing"):
+            assert stage in out
+
+    def test_cache_stats_hidden_under_process_pool(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "ham3", "--sizes", "6,8",
+            "--workers", "2", "--executor", "process", "--cache-stats",
+        )
+        assert code == 0
+        assert "cache stats unavailable" in out
+
     def test_bad_sizes_fail_gracefully(self, capsys):
         code, _, err = run_cli(capsys, "sweep", "ham3", "--sizes", "6,huge")
         assert code == 1

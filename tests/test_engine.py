@@ -289,6 +289,33 @@ class TestBatchRunner:
         assert not results[2].ok and "unknown backend" in results[2].error
         assert not results[3].ok and "TypeError" in results[3].error
 
+    def test_failure_captures_full_traceback(self):
+        results = BatchRunner(workers=1).run(
+            [Job(CircuitSpec("missing_benchmark"))]
+        )
+        assert not results[0].ok
+        assert results[0].traceback is not None
+        assert "Traceback (most recent call last)" in results[0].traceback
+        assert "neither a registered benchmark" in results[0].traceback
+
+    def test_successful_job_has_no_traceback(self):
+        results = BatchRunner(workers=1).run([Job(CircuitSpec("ham3"))])
+        assert results[0].ok
+        assert results[0].traceback is None
+
+    def test_process_mode_ships_traceback_across_pickle(self):
+        jobs = [
+            Job(CircuitSpec("ham3"), tag="good"),
+            Job(CircuitSpec("missing_benchmark"), tag="bad"),
+        ]
+        results = BatchRunner(workers=2, executor="process").run(jobs)
+        assert results[0].ok
+        assert not results[1].ok
+        # The exception object never crosses the process boundary; the
+        # formatted text must.
+        assert "Traceback (most recent call last)" in results[1].traceback
+        assert "EngineError" in results[1].traceback
+
     def test_shared_cache_builds_stages_once(self):
         runner = BatchRunner(workers=1)
         results = runner.run(self._fabric_jobs([6, 8, 10]))
