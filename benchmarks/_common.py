@@ -20,7 +20,9 @@ out).  The helpers here keep the methodology consistent:
 from __future__ import annotations
 
 import functools
+import json
 import os
+from pathlib import Path
 
 from repro.analysis.calibration import calibrate_qubit_speed
 from repro.circuits.circuit import Circuit
@@ -104,3 +106,45 @@ def sweep_points(
 ) -> list[SweepPoint]:
     """Batched pipeline sweep of one benchmark over a parameter grid."""
     return staged_pipeline(**options).sweep(ft_circuit(name), grid)
+
+
+#: Trajectory record of the mapper speed benchmark, committed alongside
+#: the benches so future PRs can detect perf regressions against it.
+MAPPER_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_mapper.json"
+
+
+def load_mapper_trajectory() -> dict:
+    """The recorded mapper benchmark trajectory (empty when absent)."""
+    if not MAPPER_TRAJECTORY_PATH.exists():
+        return {"entries": {}}
+    with MAPPER_TRAJECTORY_PATH.open() as handle:
+        return json.load(handle)
+
+
+def record_mapper_trajectory(
+    key: str, benchmark: str, wall_seconds: float, speedup: float
+) -> None:
+    """Merge one mapper-benchmark measurement into ``BENCH_mapper.json``.
+
+    ``key`` identifies the measurement configuration (e.g. ``"full"`` vs
+    ``"smoke"``), so reduced-grid CI runs never overwrite the full-run
+    baseline.  Wall time is machine-dependent context; the *speedup* over
+    the scalar (legacy-engine) oracle is the portable regression signal.
+    """
+    record = load_mapper_trajectory()
+    record.setdefault("entries", {})[key] = {
+        "benchmark": benchmark,
+        "wall_seconds": round(wall_seconds, 4),
+        "speedup": round(speedup, 2),
+    }
+    with MAPPER_TRAJECTORY_PATH.open("w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def recorded_mapper_speedup(key: str) -> float | None:
+    """The baseline speedup recorded for one configuration, if any."""
+    entry = load_mapper_trajectory().get("entries", {}).get(key)
+    if entry is None:
+        return None
+    return float(entry["speedup"])

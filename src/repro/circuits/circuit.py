@@ -93,6 +93,8 @@ class Circuit:
         self._gates_view: tuple[Gate, ...] | None = None
         # (num_qubits, gate_count, digest) — see content_fingerprint().
         self._fingerprint: tuple[int, int, str] | None = None
+        # (gate_count, verdict) — see is_ft().
+        self._is_ft: tuple[int, bool] | None = None
 
     # -- qubit management ---------------------------------------------------
 
@@ -207,8 +209,18 @@ class Circuit:
         )
 
     def is_ft(self) -> bool:
-        """Whether every gate belongs to the fault-tolerant gate set."""
-        return all(gate.kind in FT_KINDS for gate in self._gates)
+        """Whether every gate belongs to the fault-tolerant gate set.
+
+        Cached between calls (the mapper asks on every run): gates are
+        immutable and the container only grows, so the verdict stays
+        valid while the gate count is unchanged.
+        """
+        count = len(self._gates)
+        if self._is_ft is not None and self._is_ft[0] == count:
+            return self._is_ft[1]
+        verdict = all(gate.kind in FT_KINDS for gate in self._gates)
+        self._is_ft = (count, verdict)
+        return verdict
 
     def count_kind(self, kind: GateKind) -> int:
         """Number of gates of the given kind."""

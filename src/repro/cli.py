@@ -40,7 +40,13 @@ from .circuits.circuit import Circuit
 from .circuits.library import BENCHMARKS
 from .circuits.decompose import synthesize_ft
 from .core.estimator import LEQAEstimator
-from .engine import BatchRunner, CircuitSpec, backend_names, sweep_fabric_sizes
+from .engine import (
+    BatchRunner,
+    CircuitSpec,
+    Job,
+    backend_names,
+    sweep_fabric_sizes,
+)
 from .exceptions import ReproError
 from .fabric.params import FabricSpec, PhysicalParams
 from .qspr.mapper import QSPRMapper
@@ -157,6 +163,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "compare", help="run both and report the accuracy row"
     )
     _add_common_options(compare)
+    compare.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "run the mapper and the estimator as parallel engine jobs "
+            "(0/1 = serial; default 1).  Parallel runs share the GIL, so "
+            "the per-backend runtimes and the speedup row are wall-clock "
+            "under contention — use serial mode for timing-grade numbers"
+        ),
+    )
+    compare.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-stage wall times (qodg build / placement / "
+            "schedule / estimate)"
+        ),
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -198,6 +223,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help=(
             "print per-stage hit/miss counts of the engine's staged "
             "artifact cache after the sweep"
+        ),
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-point per-stage wall times (qodg build / "
+            "placement / schedule) for backends that report them"
         ),
     )
 
@@ -270,15 +303,29 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    circuit = _prepare_ft(_load_circuit(args.circuit))
     params = _params_from_args(args)
-    mapped = QSPRMapper(params=params).map(circuit)
-    estimated = LEQAEstimator(params=params).estimate(circuit)
+    spec = CircuitSpec(args.circuit)
+    runner = BatchRunner(workers=args.workers)
+    jobs = [
+        Job(spec=spec, backend="qspr", params=params, tag="qspr"),
+        Job(spec=spec, backend="leqa", params=params, tag="leqa"),
+    ]
+    outcomes = runner.run(jobs)
+    for point in outcomes:
+        if not point.ok:
+            print(
+                f"error: {point.job.tag} backend failed: {point.error}",
+                file=sys.stderr,
+            )
+            return 1
+    mapped = outcomes[0].result.detail
+    estimated = outcomes[1].result.detail
     error = absolute_error_percent(
         mapped.latency_seconds, estimated.latency_seconds
     )
     speedup = mapped.elapsed_seconds / max(estimated.elapsed_seconds, 1e-9)
-    print(f"circuit            {circuit.name}")
+    # The raw circuit is a guaranteed cache hit after the jobs above.
+    print(f"circuit            {runner.cache.circuit(spec).name}")
     print(f"actual latency     {format_scientific(mapped.latency_seconds)} s")
     print(
         "estimated latency  "
@@ -288,6 +335,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"mapper runtime     {mapped.elapsed_seconds:.3f} s")
     print(f"estimator runtime  {estimated.elapsed_seconds:.3f} s")
     print(f"speedup            {speedup:.1f}x")
+    if args.workers and args.workers > 1:
+        print(
+            "note               runtimes measured under parallel "
+            "execution (GIL contention); run serially for timing-grade "
+            "numbers"
+        )
+    if args.profile:
+        from .qspr.mapper import MAPPER_STAGES
+
+        print()
+        print(f"{'stage':<12} {'wall (s)':>10}")
+        print("-" * 23)
+        for stage in MAPPER_STAGES:
+            wall = mapped.stage_seconds.get(stage)
+            if wall is not None:
+                print(f"{stage:<12} {wall:>10.3f}")
+        print(f"{'estimate':<12} {estimated.elapsed_seconds:>10.3f}")
     return 0
 
 
@@ -330,6 +394,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"\nsweep wall time    {wall:.3f} s "
         f"({len(results)} points, {args.executor} executor)"
     )
+    if args.profile:
+        profiled = [
+            point
+            for point in results
+            if point.ok and getattr(point.result.detail, "stage_seconds", None)
+        ]
+        if profiled:
+            from .qspr.mapper import MAPPER_STAGES as stages
+
+            header = f"{'fabric':<10}" + "".join(
+                f" {stage + ' (s)':>14}" for stage in stages
+            )
+            print(f"\n{header}")
+            print("-" * len(header))
+            for point in profiled:
+                times = point.result.detail.stage_seconds
+                row = f"{point.job.tag:<10}" + "".join(
+                    f" {times.get(stage, 0.0):>14.3f}" for stage in stages
+                )
+                print(row)
+        else:
+            print(
+                "\nprofile            backend reports no per-stage times "
+                f"({args.backend})"
+            )
     # workers <= 1 degrades to the serial path, which shares the runner's
     # cache even under --executor process; only a real pool hides stats.
     hidden = args.executor == "process" and args.workers > 1

@@ -102,14 +102,22 @@ class PresenceZones:
 
 
 def compute_zones(iig: IIG) -> PresenceZones:
-    """Build :class:`PresenceZones` from an interaction intensity graph."""
+    """Build :class:`PresenceZones` from an interaction intensity graph.
+
+    Reads the per-qubit ``M_i``/weight-sum vectors off the IIG's cached
+    structure-of-arrays core instead of walking the adjacency dicts
+    qubit by qubit.
+    """
+    view = iig.arrays()
+    degrees = view.degrees.tolist()
+    weights = view.weight_sums.tolist()
     zones = [
         QubitZone(
             qubit=q,
-            degree=iig.degree(q),
-            weight=iig.adjacent_weight_sum(q),
-            area=zone_area(iig.degree(q)),
+            degree=degree,
+            weight=weight,
+            area=zone_area(degree),
         )
-        for q in range(iig.num_qubits)
+        for q, (degree, weight) in enumerate(zip(degrees, weights))
     ]
     return PresenceZones(zones)

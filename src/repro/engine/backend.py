@@ -147,7 +147,10 @@ class QSPRBackend:
     """Adapter putting :class:`QSPRMapper` behind the engine protocol.
 
     Keyword options are forwarded to the mapper (``placement``,
-    ``routing``, ``seed``, ``record_trace``, ``scheduling``).
+    ``routing``, ``seed``, ``record_trace``, ``scheduling``, ``engine``).
+    The cache, when given, is attached to the mapper itself, so compiled
+    QODG arrays, placements and schedules all become staged artifacts —
+    a fabric-size sweep compiles the op arrays exactly once.
     """
 
     name = "qspr"
@@ -158,7 +161,7 @@ class QSPRBackend:
         cache: ArtifactCache | None = None,
         **options: object,
     ) -> None:
-        self._mapper = QSPRMapper(params=params, **options)
+        self._mapper = QSPRMapper(params=params, cache=cache, **options)
         self._cache = cache
 
     @property

@@ -20,13 +20,22 @@ stage          key
 ``uncong``     content hash + options + the ``qubit_speed`` slice
 ``queueing``   content hash + options + speed/fabric/capacity slices
 ``ops``        content hash of the gate list
+``qodg``       content hash + gate-delay table
+``placement``  content hash + strategy/seed + fabric geometry
+``schedule``   content hash + full parameter fingerprint + mapper options
 =============  ======================================================
 
 so a fabric-size sweep reuses the netlist, IIG and zones across every
 point, and two specs that build byte-identical circuits share the
 downstream artifacts even if their sources differ.
 
-The last four stages belong to the staged analytic pipeline
+The ``qodg``/``placement``/``schedule`` stages belong to the detailed
+QSPR-class mapper (:class:`~repro.qspr.mapper.QSPRMapper`): the compiled
+op arrays are fabric-independent, so a fabric-size sweep compiles them
+exactly once, while placements and schedules key on the geometry and
+parameter slices they read.
+
+The ``ham``–``ops`` stages belong to the staged analytic pipeline
 (:mod:`repro.core.pipeline`), which keys each entry by the
 *stage-relevant parameter fingerprint* — the slice of
 :class:`~repro.fabric.params.PhysicalParams` the stage transitively
@@ -77,6 +86,9 @@ _STAGES = (
     "coverage",
     "queueing",
     "ops",
+    "qodg",
+    "placement",
+    "schedule",
 )
 
 #: Public alias of the stage-name tuple (CLI stats tables and tests).

@@ -1,8 +1,8 @@
 """Dependency-graph layer: QODG, critical path, and the IIG."""
 
 from .critical_path import CriticalPathResult, critical_path, delays_from_mapping
-from .graph import QODG, build_qodg
-from .iig import IIG, build_iig
+from .graph import QODG, QODGArrays, build_qodg
+from .iig import IIG, IIGArrays, build_iig
 from .slack import SlackAnalysis, analyze_slack, critical_set_shift
 from .stats import QODGStats, compute_stats, parallelism_profile
 from .sweep import sweep_critical_path
@@ -15,11 +15,13 @@ __all__ = [
     "compute_stats",
     "parallelism_profile",
     "QODG",
+    "QODGArrays",
     "build_qodg",
     "CriticalPathResult",
     "critical_path",
     "delays_from_mapping",
     "IIG",
+    "IIGArrays",
     "build_iig",
     "sweep_critical_path",
 ]

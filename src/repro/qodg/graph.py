@@ -17,13 +17,85 @@ depends on networkx.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate
 from ..exceptions import GraphError
 
-__all__ = ["QODG", "build_qodg"]
+__all__ = ["QODG", "QODGArrays", "build_qodg"]
+
+
+@dataclass(frozen=True)
+class QODGArrays:
+    """Structure-of-arrays (CSR) core of a :class:`QODG`.
+
+    Both adjacency directions are stored in compressed-sparse-row form:
+    the predecessors of node ``n`` are
+    ``pred_indices[pred_indptr[n]:pred_indptr[n + 1]]`` (and likewise for
+    successors).  Node ids follow the QODG convention — operations
+    ``0..num_ops-1`` in program order (already topological), then start,
+    then end — so consumers can sweep the arrays front to back without a
+    separate ordering pass.  ``qubit_indptr``/``qubit_ops`` give, per
+    logical qubit, the ops touching it in program order.
+
+    Degree views are O(1) ``indptr`` differences, not re-walks of the
+    adjacency.
+    """
+
+    pred_indptr: "object"
+    pred_indices: "object"
+    succ_indptr: "object"
+    succ_indices: "object"
+    qubit_indptr: "object"
+    qubit_ops: "object"
+    num_ops: int
+    start: int
+    end: int
+
+    def in_degrees(self):
+        """Merged in-degree of every node (ops, then start, then end)."""
+        return self.pred_indptr[1:] - self.pred_indptr[:-1]
+
+    def out_degrees(self):
+        """Merged out-degree of every node (ops, then start, then end)."""
+        return self.succ_indptr[1:] - self.succ_indptr[:-1]
+
+    def op_indegrees(self):
+        """In-degree of each operation node *excluding* start edges.
+
+        The ready-set seed for list scheduling: an op with zero remaining
+        operation predecessors may run immediately.
+        """
+        import numpy as np
+
+        counts = self.in_degrees()[: self.num_ops].copy()
+        # Start-edge targets are exactly the first op on each qubit.
+        start_row = self.succ_indices[
+            self.succ_indptr[self.start] : self.succ_indptr[self.start + 1]
+        ]
+        heads = start_row[start_row != self.end]
+        np.subtract.at(counts, heads, 1)
+        return counts
+
+    def predecessors_of(self, node: int):
+        """CSR row view of one node's predecessors."""
+        return self.pred_indices[
+            self.pred_indptr[node] : self.pred_indptr[node + 1]
+        ]
+
+    def successors_of(self, node: int):
+        """CSR row view of one node's successors."""
+        return self.succ_indices[
+            self.succ_indptr[node] : self.succ_indptr[node + 1]
+        ]
+
+    def ops_of_qubit(self, qubit: int):
+        """Program-order op indices touching one logical qubit."""
+        return self.qubit_ops[
+            self.qubit_indptr[qubit] : self.qubit_indptr[qubit + 1]
+        ]
 
 
 class QODG:
@@ -64,6 +136,7 @@ class QODG:
                 preds[self.end].append(source)
         self._preds = preds
         self._succs = succs
+        self._csr: QODGArrays | None = None
 
     # -- basic accessors ------------------------------------------------
 
@@ -132,6 +205,48 @@ class QODG:
         """Number of outgoing merged edges."""
         self._check_node(node)
         return len(self._succs[node])
+
+    # -- structure-of-arrays core ------------------------------------------
+
+    def csr(self) -> QODGArrays:
+        """The CSR (structure-of-arrays) view of the graph, built once.
+
+        Row contents preserve the adjacency-list order, so array
+        consumers see predecessors/successors in exactly the order the
+        object API reports them.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            def pack(rows: list[list[int]]):
+                indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+                for i, row in enumerate(rows):
+                    indptr[i + 1] = indptr[i] + len(row)
+                flat = [node for row in rows for node in row]
+                indices = np.array(flat, dtype=np.int64)
+                return indptr, indices
+
+            pred_indptr, pred_indices = pack(self._preds)
+            succ_indptr, succ_indices = pack(self._succs)
+            qubit_rows: list[list[int]] = [
+                [] for _ in range(self._circuit.num_qubits)
+            ]
+            for index, gate in enumerate(self._circuit.gates):
+                for qubit in gate.iter_qubits():
+                    qubit_rows[qubit].append(index)
+            qubit_indptr, qubit_ops = pack(qubit_rows)
+            self._csr = QODGArrays(
+                pred_indptr=pred_indptr,
+                pred_indices=pred_indices,
+                succ_indptr=succ_indptr,
+                succ_indices=succ_indices,
+                qubit_indptr=qubit_indptr,
+                qubit_ops=qubit_ops,
+                num_ops=self.num_ops,
+                start=self.start,
+                end=self.end,
+            )
+        return self._csr
 
     # -- export -----------------------------------------------------------
 

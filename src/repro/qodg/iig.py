@@ -13,12 +13,46 @@ self-loops).  From the IIG the estimator reads, for each qubit ``n_i``:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..circuits.circuit import Circuit
 from ..exceptions import GraphError
 
-__all__ = ["IIG", "build_iig"]
+__all__ = ["IIG", "IIGArrays", "build_iig"]
+
+
+@dataclass(frozen=True)
+class IIGArrays:
+    """Structure-of-arrays (CSR) core of an :class:`IIG`.
+
+    The neighbours of qubit ``q`` are
+    ``indices[indptr[q]:indptr[q + 1]]`` with matching edge weights in
+    ``weights`` — stored in first-interaction order, exactly the order
+    the object API's :meth:`IIG.neighbors` reports, so array consumers
+    reproduce dict-walking results bit for bit (weighted centroids sum in
+    the same sequence).  ``degrees``/``weight_sums`` are the per-qubit
+    ``M_i`` and ``sum_j w(e_ij)`` the estimator stages read.
+    """
+
+    indptr: "object"
+    indices: "object"
+    weights: "object"
+    degrees: "object"
+    weight_sums: "object"
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of logical qubits (graph nodes)."""
+        return len(self.degrees)
+
+    def neighbors_of(self, qubit: int):
+        """CSR row view of one qubit's interaction partners."""
+        return self.indices[self.indptr[qubit] : self.indptr[qubit + 1]]
+
+    def weights_of(self, qubit: int):
+        """Edge weights aligned with :meth:`neighbors_of`."""
+        return self.weights[self.indptr[qubit] : self.indptr[qubit + 1]]
 
 
 class IIG:
@@ -35,6 +69,9 @@ class IIG:
         # adjacency[i][j] = w(e_ij); symmetric, no self loops.
         self._adjacency: list[dict[int, int]] = [dict() for _ in range(num_qubits)]
         self._total_weight = 0
+        # (version, IIGArrays) — rebuilt when mutations bump the version.
+        self._version = 0
+        self._arrays: tuple[int, IIGArrays] | None = None
 
     @property
     def num_qubits(self) -> int:
@@ -67,6 +104,7 @@ class IIG:
             self._adjacency[qubit_b].get(qubit_a, 0) + weight
         )
         self._total_weight += weight
+        self._version += 1
 
     def degree(self, qubit: int) -> int:
         """``M_i``: number of distinct interaction partners of the qubit."""
@@ -84,25 +122,55 @@ class IIG:
         self._check(qubit)
         return sum(self._adjacency[qubit].values())
 
-    def interaction_arrays(self):
-        """``(degrees, weights)`` over all qubits as numpy int64 arrays.
+    def arrays(self) -> IIGArrays:
+        """The CSR (structure-of-arrays) view, built lazily and cached.
 
-        ``degrees[i] = M_i`` and ``weights[i] = sum_j w(e_ij)`` — the two
-        per-qubit quantities the vectorized estimator stages consume.
-        One pass over the adjacency rows, no per-qubit bounds checks.
+        Neighbour rows preserve first-interaction (dict insertion) order;
+        the cached view is invalidated by :meth:`add_interaction`.
         """
+        if self._arrays is not None and self._arrays[0] == self._version:
+            return self._arrays[1]
         import numpy as np
 
         count = self._num_qubits
-        degrees = np.fromiter(
-            (len(row) for row in self._adjacency), dtype=np.int64, count=count
+        indptr = np.zeros(count + 1, dtype=np.int64)
+        for i, row in enumerate(self._adjacency):
+            indptr[i + 1] = indptr[i] + len(row)
+        indices = np.fromiter(
+            (j for row in self._adjacency for j in row),
+            dtype=np.int64,
+            count=int(indptr[-1]),
         )
         weights = np.fromiter(
+            (w for row in self._adjacency for w in row.values()),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        degrees = indptr[1:] - indptr[:-1]
+        weight_sums = np.fromiter(
             (sum(row.values()) for row in self._adjacency),
             dtype=np.int64,
             count=count,
         )
-        return degrees, weights
+        view = IIGArrays(
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            degrees=degrees,
+            weight_sums=weight_sums,
+        )
+        self._arrays = (self._version, view)
+        return view
+
+    def interaction_arrays(self):
+        """``(degrees, weights)`` over all qubits as numpy int64 arrays.
+
+        ``degrees[i] = M_i`` and ``weights[i] = sum_j w(e_ij)`` — the two
+        per-qubit quantities the vectorized estimator stages consume,
+        read straight off the cached CSR core.
+        """
+        view = self.arrays()
+        return view.degrees, view.weight_sums
 
     def neighbors(self, qubit: int) -> tuple[int, ...]:
         """Interaction partners of the qubit."""
@@ -160,4 +228,5 @@ def build_iig(circuit: Circuit) -> IIG:
             row_b[qubit_a] = row_b.get(qubit_a, 0) + 1
             total += 1
     iig._total_weight += total
+    iig._version += 1
     return iig

@@ -75,12 +75,21 @@ def analyze_slack(
             raise GraphError(
                 f"negative delay {duration} for gate {gates[node]}"
             )
+    # Both sweeps read the CSR (structure-of-arrays) core: flat index
+    # ranges instead of per-node tuple-allocating accessors.
+    csr = qodg.csr()
+    start, end = qodg.start, qodg.end
+    pred_indptr = csr.pred_indptr.tolist()
+    pred_indices = csr.pred_indices.tolist()
+    succ_indptr = csr.succ_indptr.tolist()
+    succ_indices = csr.succ_indices.tolist()
     # ASAP forward sweep (program order is topological).
     asap = [0.0] * num_ops
     for node in range(num_ops):
         earliest = 0.0
-        for pred in qodg.predecessors(node):
-            if pred == qodg.start:
+        for slot in range(pred_indptr[node], pred_indptr[node + 1]):
+            pred = pred_indices[slot]
+            if pred == start:
                 continue
             finish = asap[pred] + durations[pred]
             if finish > earliest:
@@ -94,8 +103,9 @@ def analyze_slack(
     alap = [0.0] * num_ops
     for node in range(num_ops - 1, -1, -1):
         latest_finish = makespan
-        for succ in qodg.successors(node):
-            if succ == qodg.end:
+        for slot in range(succ_indptr[node], succ_indptr[node + 1]):
+            succ = succ_indices[slot]
+            if succ == end:
                 continue
             if alap[succ] < latest_finish:
                 latest_finish = alap[succ]

@@ -54,11 +54,16 @@ def parallelism_profile(qodg: QODG) -> list[int]:
     resources — the upper bound on fabric parallelism.
     """
     num_ops = qodg.num_ops
+    csr = qodg.csr()
+    start = qodg.start
+    pred_indptr = csr.pred_indptr.tolist()
+    pred_indices = csr.pred_indices.tolist()
     level = [0] * num_ops
     for node in range(num_ops):
         deepest = -1
-        for pred in qodg.predecessors(node):
-            if pred != qodg.start and level[pred] > deepest:
+        for slot in range(pred_indptr[node], pred_indptr[node + 1]):
+            pred = pred_indices[slot]
+            if pred != start and level[pred] > deepest:
                 deepest = level[pred]
         level[node] = deepest + 1
     if num_ops == 0:

@@ -8,8 +8,14 @@ from .placement import (
     random_placement,
     row_major_placement,
 )
-from .routing import RoutedMove, Router
-from .scheduling import ScheduleResult, ScheduleStats, schedule_circuit
+from .routing import RoutedMove, Router, SlotRouter
+from .scheduling import (
+    CompiledQODG,
+    ScheduleResult,
+    ScheduleStats,
+    compile_qodg,
+    schedule_circuit,
+)
 from .trace import (
     ScheduleTrace,
     TraceEvent,
@@ -31,8 +37,11 @@ __all__ = [
     "row_major_placement",
     "RoutedMove",
     "Router",
+    "SlotRouter",
+    "CompiledQODG",
     "ScheduleResult",
     "ScheduleStats",
+    "compile_qodg",
     "schedule_circuit",
     "ScheduleTrace",
     "TraceEvent",

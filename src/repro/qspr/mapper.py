@@ -9,12 +9,22 @@ The original QSPR is the authors' closed-source Java tool (paper ref
 [20]); this is a faithful *class* reproduction of its role — detailed
 scheduling, placement and routing of every qubit movement on the tiled
 architecture — not a line-by-line port.  See DESIGN.md, "Substitutions".
+
+With an :class:`~repro.engine.cache.ArtifactCache` attached, each mapping
+stage is memoized under the slice of inputs it actually reads — the
+compiled QODG op arrays under the circuit content plus the delay table,
+the initial placement under the content plus fabric geometry and
+strategy, the schedule under the full parameter fingerprint — so a
+fabric-size sweep compiles the QODG exactly once and repeated points are
+served whole from the cache (the mapper's analogue of the staged LEQA
+pipeline).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..circuits.circuit import Circuit
 from ..exceptions import MappingError
@@ -22,9 +32,19 @@ from ..fabric.params import DEFAULT_PARAMS, PhysicalParams
 from ..fabric.tqa import TQA
 from ..qodg.iig import IIG, build_iig
 from .placement import make_placement
-from .scheduling import ScheduleResult, schedule_circuit
+from .scheduling import (
+    CompiledQODG,
+    ScheduleResult,
+    compile_qodg,
+    delays_table_token,
+    schedule_circuit,
+)
 
-__all__ = ["MappingResult", "QSPRMapper", "map_circuit"]
+__all__ = ["MappingResult", "QSPRMapper", "map_circuit", "MAPPER_STAGES"]
+
+#: Stage names of the mapper pipeline, in execution order (the keys of
+#: :attr:`MappingResult.stage_seconds`).
+MAPPER_STAGES = ("iig", "qodg", "placement", "schedule")
 
 
 @dataclass(frozen=True)
@@ -43,6 +63,9 @@ class MappingResult:
     elapsed_seconds:
         Wall-clock time the mapper took (placement + scheduling +
         routing) — the quantity Table 3 compares against LEQA's runtime.
+    stage_seconds:
+        Wall time per mapper stage (``iig`` / ``qodg`` / ``placement`` /
+        ``schedule``); a cached stage costs its lookup only.
     """
 
     schedule: ScheduleResult
@@ -50,6 +73,7 @@ class MappingResult:
     qubit_count: int
     op_count: int
     elapsed_seconds: float
+    stage_seconds: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def latency(self) -> float:
@@ -83,6 +107,14 @@ class QSPRMapper:
     scheduling:
         Operation visit order, ``"program"`` (default) or ``"alap"``
         (list scheduling by ALAP priority).
+    engine:
+        Scheduler engine, ``"array"`` (default; slot-indexed
+        structure-of-arrays) or ``"legacy"`` (reference oracle); both
+        produce bitwise-identical schedules.
+    cache:
+        Optional :class:`~repro.engine.cache.ArtifactCache`; when given,
+        the compiled QODG, placement and schedule become staged cache
+        artifacts shared across mapper runs.
     """
 
     def __init__(
@@ -93,6 +125,8 @@ class QSPRMapper:
         seed: int = 0,
         record_trace: bool = False,
         scheduling: str = "program",
+        engine: str = "array",
+        cache: "object | None" = None,
     ) -> None:
         self._params = params
         self._placement = placement
@@ -100,11 +134,18 @@ class QSPRMapper:
         self._seed = seed
         self._record_trace = record_trace
         self._scheduling = scheduling
+        self._engine = engine
+        self._cache = cache
 
     @property
     def params(self) -> PhysicalParams:
         """The physical parameter set in use."""
         return self._params
+
+    @property
+    def engine(self) -> str:
+        """Scheduler engine in use (``"array"`` or ``"legacy"``)."""
+        return self._engine
 
     def map(self, circuit: Circuit, iig: IIG | None = None) -> MappingResult:
         """Map an FT circuit onto the TQA and measure its actual latency.
@@ -119,23 +160,40 @@ class QSPRMapper:
                 "synthesize_ft() first"
             )
         started = time.perf_counter()
-        if iig is None:
+        stage_seconds: dict[str, float] = {}
+        cache = self._cache
+
+        mark = time.perf_counter()
+        if cache is not None:
+            # The placement stage below is keyed on circuit content, so it
+            # must only ever build from the content-keyed IIG — a
+            # caller-supplied graph (however plausible) could poison the
+            # cache for every later run of the same circuit.
+            iig = cache.iig(circuit)
+        elif iig is None:
             iig = build_iig(circuit)
         elif iig.num_qubits != circuit.num_qubits:
             raise MappingError(
                 f"prebuilt IIG has {iig.num_qubits} qubits but the circuit "
                 f"has {circuit.num_qubits}; it belongs to a different circuit"
             )
-        tqa = TQA(self._params.fabric)
-        placement = make_placement(self._placement, iig, tqa, seed=self._seed)
-        schedule = schedule_circuit(
-            circuit,
-            placement,
-            self._params,
-            routing_mode=self._routing,
-            record_trace=self._record_trace,
-            order=self._scheduling,
-        )
+        stage_seconds["iig"] = time.perf_counter() - mark
+
+        params = self._params
+        delays = params.delays.by_kind()
+        mark = time.perf_counter()
+        compiled = self._compiled(circuit, delays, cache)
+        stage_seconds["qodg"] = time.perf_counter() - mark
+
+        tqa = TQA(params.fabric)
+        mark = time.perf_counter()
+        placement = self._initial_placement(circuit, iig, tqa, cache)
+        stage_seconds["placement"] = time.perf_counter() - mark
+
+        mark = time.perf_counter()
+        schedule = self._schedule(circuit, placement, compiled, cache)
+        stage_seconds["schedule"] = time.perf_counter() - mark
+
         elapsed = time.perf_counter() - started
         return MappingResult(
             schedule=schedule,
@@ -143,7 +201,84 @@ class QSPRMapper:
             qubit_count=circuit.num_qubits,
             op_count=len(circuit),
             elapsed_seconds=elapsed,
+            stage_seconds=stage_seconds,
         )
+
+    # -- staged builders ----------------------------------------------------
+
+    def _compiled(
+        self, circuit: Circuit, delays: dict, cache
+    ) -> CompiledQODG | None:
+        """The compiled op arrays, staged in the cache when one is given.
+
+        The artifact is fabric-independent: its key is the circuit
+        content plus the delay table, so one compile serves a whole
+        fabric-size sweep.  The legacy engine ignores it.
+        """
+        if self._engine == "legacy":
+            return None
+        if cache is None:
+            return compile_qodg(circuit, delays)
+        key = (circuit.content_fingerprint(), delays_table_token(delays))
+        return cache.stage(
+            "qodg", key, lambda: compile_qodg(circuit, delays)
+        )
+
+    def _initial_placement(self, circuit: Circuit, iig: IIG, tqa: TQA, cache):
+        """The initial placement, staged under content + geometry + strategy."""
+        if cache is None:
+            return make_placement(
+                self._placement, iig, tqa, seed=self._seed
+            )
+        key = (
+            circuit.content_fingerprint(),
+            self._placement,
+            self._seed,
+            tqa.width,
+            tqa.height,
+        )
+        return cache.stage(
+            "placement",
+            key,
+            lambda: make_placement(self._placement, iig, tqa, seed=self._seed),
+        )
+
+    def _schedule(
+        self, circuit: Circuit, placement, compiled, cache
+    ) -> ScheduleResult:
+        """The detailed schedule, staged under the full parameter set."""
+
+        def build() -> ScheduleResult:
+            return schedule_circuit(
+                circuit,
+                placement,
+                self._params,
+                routing_mode=self._routing,
+                record_trace=self._record_trace,
+                order=self._scheduling,
+                engine=self._engine,
+                compiled=compiled,
+            )
+
+        if cache is None:
+            return build()
+        from ..engine.cache import params_fingerprint
+
+        key = (
+            circuit.content_fingerprint(),
+            params_fingerprint(self._params),
+            self._placement,
+            self._seed,
+            self._routing,
+            self._scheduling,
+            self._record_trace,
+            # Both engines produce bitwise-identical schedules, but keying
+            # them separately keeps engine comparisons honest: a shared
+            # cache must never serve one engine's result as the other's
+            # measurement (or mask an equivalence regression).
+            self._engine,
+        )
+        return cache.stage("schedule", key, build)
 
 
 def map_circuit(
@@ -152,9 +287,11 @@ def map_circuit(
     placement: str = "iig_greedy",
     routing: str = "maze",
     seed: int = 0,
+    engine: str = "array",
 ) -> MappingResult:
     """One-shot convenience wrapper around :class:`QSPRMapper`."""
     mapper = QSPRMapper(
-        params=params, placement=placement, routing=routing, seed=seed
+        params=params, placement=placement, routing=routing, seed=seed,
+        engine=engine,
     )
     return mapper.map(circuit)

@@ -98,11 +98,21 @@ def iig_greedy_placement(iig: IIG, tqa: TQA) -> list[Position]:
     the weighted centroid of its already-placed neighbours.  Once all ULBs
     hold a qubit, placement continues in storage-overflow mode (several
     qubits per ULB) using the centroid ULB directly.
+
+    Works off the IIG's structure-of-arrays core: visit order comes from
+    the weight-sum vector and centroids accumulate along CSR neighbour
+    rows (stored in first-interaction order, so results match the
+    adjacency-dict walk exactly).
     """
     num_qubits = iig.num_qubits
+    view = iig.arrays()
+    weight_sums = view.weight_sums.tolist()
+    indptr = view.indptr.tolist()
+    indices = view.indices.tolist()
+    weights = view.weights.tolist()
     order = sorted(
         range(num_qubits),
-        key=lambda q: (-iig.adjacent_weight_sum(q), q),
+        key=lambda q: (-weight_sums[q], q),
     )
     center = (tqa.width // 2, tqa.height // 2)
     occupied: set[Position] = set()
@@ -110,15 +120,20 @@ def iig_greedy_placement(iig: IIG, tqa: TQA) -> list[Position]:
     fabric_full = False
     for qubit in order:
         anchor = center
-        placed_neighbors = [
-            (other, iig.weight(qubit, other))
-            for other in iig.neighbors(qubit)
-            if locations[other] is not None
-        ]
-        if placed_neighbors:
-            total = sum(w for _, w in placed_neighbors)
-            cx = sum(locations[o][0] * w for o, w in placed_neighbors) / total
-            cy = sum(locations[o][1] * w for o, w in placed_neighbors) / total
+        total = 0
+        sum_x = 0
+        sum_y = 0
+        for slot in range(indptr[qubit], indptr[qubit + 1]):
+            location = locations[indices[slot]]
+            if location is None:
+                continue
+            weight = weights[slot]
+            total += weight
+            sum_x += location[0] * weight
+            sum_y += location[1] * weight
+        if total:
+            cx = sum_x / total
+            cy = sum_y / total
             anchor = (int(round(cx)), int(round(cy)))
             anchor = (
                 min(max(anchor[0], 0), tqa.width - 1),

@@ -85,6 +85,28 @@ class TestCompare:
         assert "absolute error" in out
         assert "speedup" in out
 
+    def test_parallel_workers(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "compare", "ham3",
+            "--width", "10", "--height", "10", "--workers", "2",
+        )
+        assert code == 0
+        assert "absolute error" in out
+
+    def test_profile_prints_stage_walls(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "compare", "ham3",
+            "--width", "10", "--height", "10", "--profile",
+        )
+        assert code == 0
+        for stage in ("qodg", "placement", "schedule", "estimate"):
+            assert stage in out
+
+    def test_unknown_circuit_fails_gracefully(self, capsys):
+        code, _, err = run_cli(capsys, "compare", "no_such_benchmark")
+        assert code == 1
+        assert "error:" in err
+
 
 class TestHeatmap:
     def test_coverage_heatmap(self, capsys):
@@ -147,6 +169,31 @@ class TestSweep:
         assert "stage" in out and "misses" in out
         # Every pipeline stage appears, including the parameter-aware ones.
         for stage in ("iig", "zones", "ham", "uncong", "queueing"):
+            assert stage in out
+
+    def test_profile_stage_table_for_mapper_backend(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "ham3", "--sizes", "6,8",
+            "--backend", "qspr", "--profile",
+        )
+        assert code == 0
+        for stage in ("qodg (s)", "placement (s)", "schedule (s)"):
+            assert stage in out
+
+    def test_profile_degrades_for_estimator_backend(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "ham3", "--sizes", "6", "--profile"
+        )
+        assert code == 0
+        assert "no per-stage times" in out
+
+    def test_mapper_cache_stage_rows(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "ham3", "--sizes", "6,8,10",
+            "--backend", "qspr", "--cache-stats",
+        )
+        assert code == 0
+        for stage in ("qodg", "placement", "schedule"):
             assert stage in out
 
     def test_cache_stats_hidden_under_process_pool(self, capsys):

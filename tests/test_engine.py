@@ -331,6 +331,39 @@ class TestBatchRunner:
         assert [r.job.tag for r in results] == ["6x6", "8x8"]
         assert all(r.ok for r in results)
 
+    def test_cached_mapper_sweep_compiles_qodg_once(self):
+        """A qspr fabric-size sweep compiles the QODG exactly once.
+
+        The compiled op arrays depend on circuit content + delays only,
+        so every fabric size after the first is a cache hit; placements
+        and schedules are geometry-dependent and build per point.
+        """
+        runner = BatchRunner(workers=1)
+        results = sweep_fabric_sizes(
+            "ham3", [6, 8, 10, 12], backend="qspr", runner=runner
+        )
+        assert all(r.ok for r in results)
+        stats = runner.cache.stats()
+        assert stats.miss_count("qodg") == 1
+        assert stats.hit_count("qodg") == 3
+        assert stats.miss_count("placement") == 4
+        assert stats.miss_count("schedule") == 4
+
+    def test_cached_mapper_rerun_served_from_schedule_stage(self):
+        """Repeating the same qspr point rebuilds nothing."""
+        runner = BatchRunner(workers=1)
+        spec = CircuitSpec("ham3")
+        job = Job(spec=spec, backend="qspr", params=SMALL)
+        first = runner.run([job])[0]
+        second = runner.run([job])[0]
+        assert first.ok and second.ok
+        assert second.result.latency == first.result.latency
+        stats = runner.cache.stats()
+        assert stats.miss_count("schedule") == 1
+        assert stats.hit_count("schedule") == 1
+        assert stats.miss_count("placement") == 1
+        assert stats.hit_count("placement") == 1
+
 
 class TestEstimateLatencyWrapper:
     def test_queue_model_passthrough(self, adder_ft):

@@ -109,3 +109,37 @@ class TestBuildIIG:
         circuit = Circuit(3)
         circuit.append(toffoli(0, 1, 2))
         assert build_iig(circuit).total_weight == 0
+
+
+class TestIIGArrays:
+    def test_csr_rows_preserve_first_interaction_order(self):
+        iig = IIG(4)
+        iig.add_interaction(0, 2)
+        iig.add_interaction(0, 1, weight=3)
+        iig.add_interaction(0, 3)
+        view = iig.arrays()
+        assert view.neighbors_of(0).tolist() == [2, 1, 3]
+        assert view.weights_of(0).tolist() == [1, 3, 1]
+
+    def test_degree_and_weight_sum_views(self):
+        iig = build_iig(ham3())
+        view = iig.arrays()
+        for q in range(3):
+            assert view.degrees[q] == iig.degree(q)
+            assert view.weight_sums[q] == iig.adjacent_weight_sum(q)
+
+    def test_arrays_cached_until_mutation(self):
+        iig = IIG(3)
+        iig.add_interaction(0, 1)
+        first = iig.arrays()
+        assert iig.arrays() is first
+        iig.add_interaction(1, 2)
+        second = iig.arrays()
+        assert second is not first
+        assert second.degrees.tolist() == [1, 2, 1]
+
+    def test_interaction_arrays_reads_csr_core(self):
+        iig = build_iig(ham3())
+        degrees, weights = iig.interaction_arrays()
+        assert degrees.tolist() == [2, 2, 2]
+        assert int(weights.sum()) == 2 * iig.total_weight

@@ -74,3 +74,37 @@ class TestMapping:
         ).length
         result = QSPRMapper(params=params).map(adder_ft)
         assert result.latency >= floor
+
+
+class TestArrayEngineFacade:
+    def test_stage_seconds_reported(self, params):
+        result = QSPRMapper(params=params).map(ham3())
+        assert set(result.stage_seconds) == {
+            "iig", "qodg", "placement", "schedule"
+        }
+        assert all(wall >= 0.0 for wall in result.stage_seconds.values())
+
+    def test_engines_agree_through_facade(self, params):
+        array = QSPRMapper(params=params, engine="array").map(ham3())
+        legacy = QSPRMapper(params=params, engine="legacy").map(ham3())
+        assert array.latency == legacy.latency
+        assert array.schedule.finish_times == legacy.schedule.finish_times
+
+    def test_map_circuit_engine_passthrough(self, params):
+        assert map_circuit(ham3(), params=params, engine="legacy").latency == \
+            map_circuit(ham3(), params=params).latency
+
+    def test_cached_mapper_shares_stages(self, params):
+        from repro.engine import ArtifactCache
+
+        cache = ArtifactCache()
+        circuit = ham3()
+        mapper = QSPRMapper(params=params, cache=cache)
+        first = mapper.map(circuit)
+        second = mapper.map(circuit)
+        assert first.latency == second.latency
+        stats = cache.stats()
+        assert stats.miss_count("qodg") == 1
+        assert stats.hit_count("qodg") == 1
+        assert stats.miss_count("schedule") == 1
+        assert stats.hit_count("schedule") == 1

@@ -125,3 +125,42 @@ class TestAccessors:
         import networkx as nx
 
         assert nx.is_directed_acyclic_graph(graph)
+
+
+class TestCSRCore:
+    def test_csr_matches_adjacency_lists(self, adder_ft):
+        qodg = build_qodg(adder_ft)
+        csr = qodg.csr()
+        for node in range(qodg.num_nodes):
+            assert tuple(csr.predecessors_of(node)) == qodg.predecessors(node)
+            assert tuple(csr.successors_of(node)) == qodg.successors(node)
+
+    def test_degree_views_match_accessors(self, adder_ft):
+        qodg = build_qodg(adder_ft)
+        csr = qodg.csr()
+        in_degrees = csr.in_degrees().tolist()
+        out_degrees = csr.out_degrees().tolist()
+        for node in range(qodg.num_nodes):
+            assert in_degrees[node] == qodg.in_degree(node)
+            assert out_degrees[node] == qodg.out_degree(node)
+
+    def test_op_indegrees_exclude_start_edges(self):
+        circuit = Circuit(2)
+        circuit.extend([h(0), cnot(0, 1)])
+        qodg = build_qodg(circuit)
+        counts = qodg.csr().op_indegrees().tolist()
+        # h(0) is fed by start only; the CNOT depends on h(0) (qubit 0)
+        # and start (qubit 1).
+        assert counts == [0, 1]
+
+    def test_per_qubit_operation_lists(self):
+        circuit = Circuit(3)
+        circuit.extend([h(0), cnot(0, 1), cnot(1, 2), h(2)])
+        csr = build_qodg(circuit).csr()
+        assert csr.ops_of_qubit(0).tolist() == [0, 1]
+        assert csr.ops_of_qubit(1).tolist() == [1, 2]
+        assert csr.ops_of_qubit(2).tolist() == [2, 3]
+
+    def test_csr_is_cached(self, adder_ft):
+        qodg = build_qodg(adder_ft)
+        assert qodg.csr() is qodg.csr()
