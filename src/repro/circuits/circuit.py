@@ -12,18 +12,31 @@ A circuit is the unit of exchange between every stage of the flow:
 Gate order is significant: the paper assumes "the order of gates does not
 change after the synthesis step", and the QODG's data dependencies follow
 program order per qubit.
+
+Since the array-native front-end refactor a circuit is **dual-natured**:
+it can be backed by a flat :class:`~repro.circuits.table.GateTable` (the
+canonical interchange form the parser, the generators and the table
+passes produce), by a list of :class:`Gate` objects (the historical form
+mutating callers build), or by both.  Either view materializes the other
+lazily, so array consumers (QODG/IIG CSR builders, the batched sweeps)
+never pay for Gate objects and object consumers never notice the
+difference.
 """
 
 from __future__ import annotations
 
 import hashlib
+import struct
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .._validation import require_non_negative_int
 from ..exceptions import CircuitError
-from .gates import FT_KINDS, Gate, GateKind, ONE_QUBIT_FT_KINDS
+from .gates import FT_KINDS, Gate, GateKind, KIND_CODES, ONE_QUBIT_FT_KINDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .table import GateTable
 
 
 @dataclass(frozen=True)
@@ -89,12 +102,102 @@ class Circuit:
         self._index_by_name: dict[str, int] = {
             qname: i for i, qname in enumerate(self._qubit_names)
         }
-        self._gates: list[Gate] = []
+        # Dual storage: a Gate list, a GateTable, or both.  `_table_token`
+        # is the (num_qubits, gate_count) version at which `_table` was
+        # valid; the container only grows, so a matching token proves the
+        # table still describes the full circuit.
+        self._gate_list: list[Gate] | None = []
+        self._table: "GateTable | None" = None
+        self._table_token: tuple[int, int] | None = None
         self._gates_view: tuple[Gate, ...] | None = None
-        # (num_qubits, gate_count, digest) — see content_fingerprint().
-        self._fingerprint: tuple[int, int, str] | None = None
+        # Incremental fingerprint state: (num_qubits, hashed_count,
+        # hasher) plus a (token, hexdigest) cache — see
+        # content_fingerprint().
+        self._fp_state: tuple[int, int, "hashlib._Hash"] | None = None
+        self._fp_cache: tuple[tuple[int, int], str] | None = None
         # (gate_count, verdict) — see is_ft().
         self._is_ft: tuple[int, bool] | None = None
+
+    # -- table backing -----------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: "GateTable") -> "Circuit":
+        """Wrap a :class:`~repro.circuits.table.GateTable` without
+        materializing Gate objects.
+
+        The table is adopted as-is (tables are immutable); gates are
+        materialized only if an object consumer asks for them.
+        """
+        circuit = cls.__new__(cls)
+        circuit.name = table.name
+        circuit._qubit_names = list(table.qubit_names)
+        circuit._index_by_name = {
+            qname: i for i, qname in enumerate(circuit._qubit_names)
+        }
+        circuit._gate_list = None
+        circuit._table = table
+        circuit._table_token = (table.num_qubits, len(table))
+        circuit._gates_view = None
+        circuit._fp_state = None
+        circuit._fp_cache = None
+        circuit._is_ft = None
+        return circuit
+
+    def _gate_count(self) -> int:
+        """Gate count without materializing either representation."""
+        if self._gate_list is not None:
+            return len(self._gate_list)
+        assert self._table is not None
+        return len(self._table)
+
+    @property
+    def _gates(self) -> list[Gate]:
+        """The Gate-object list, materialized from the table on demand."""
+        if self._gate_list is None:
+            assert self._table is not None
+            self._gate_list = self._table.to_gates()
+        return self._gate_list
+
+    @_gates.setter
+    def _gates(self, value: list[Gate]) -> None:
+        # Mutating callers (the legacy decompose/optimize passes) replace
+        # the list wholesale; any cached table no longer describes it.
+        self._gate_list = value
+        self._table = None
+        self._table_token = None
+        self._gates_view = None
+        self._fp_state = None
+        self._fp_cache = None
+        self._is_ft = None
+
+    def table(self) -> "GateTable":
+        """The circuit as a flat :class:`GateTable`, built once and cached.
+
+        Valid while the circuit is unchanged (the ``(num_qubits,
+        gate_count)`` token detects growth); array consumers key their
+        CSR builds and fingerprints on it.
+        """
+        token = (self.num_qubits, self._gate_count())
+        if self._table is not None and self._table_token == token:
+            return self._table
+        from .table import table_from_gates
+
+        self._table = table_from_gates(
+            self._gates, self._qubit_names, name=self.name
+        )
+        self._table_token = token
+        return self._table
+
+    def table_if_ready(self) -> "GateTable | None":
+        """The cached table when it is current, else ``None``.
+
+        Consumers with both array and object paths use this to pick the
+        fast path without forcing a table build on object-built circuits.
+        """
+        token = (self.num_qubits, self._gate_count())
+        if self._table is not None and self._table_token == token:
+            return self._table
+        return None
 
     # -- qubit management ---------------------------------------------------
 
@@ -159,6 +262,7 @@ class Circuit:
                 )
         self._gates.append(gate)
         self._gates_view = None
+        self._is_ft = None
 
     def extend(self, gates: Iterable[Gate]) -> None:
         """Append every gate from ``gates`` in order."""
@@ -173,7 +277,7 @@ class Circuit:
         return self._gates_view
 
     def __len__(self) -> int:
-        return len(self._gates)
+        return self._gate_count()
 
     def __iter__(self) -> Iterator[Gate]:
         return iter(self._gates)
@@ -184,26 +288,33 @@ class Circuit:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Circuit):
             return NotImplemented
-        return (
-            self._qubit_names == other._qubit_names
-            and self._gates == other._gates
-        )
+        if self._qubit_names != other._qubit_names:
+            return False
+        mine = self.table_if_ready()
+        theirs = other.table_if_ready()
+        if mine is not None and theirs is not None:
+            return mine.same_content(theirs)
+        return self._gates == other._gates
 
     def __repr__(self) -> str:
         return (
             f"Circuit(name={self.name!r}, qubits={self.num_qubits}, "
-            f"gates={len(self._gates)})"
+            f"gates={self._gate_count()})"
         )
 
     # -- analysis -----------------------------------------------------------
 
     def stats(self) -> CircuitStats:
-        """Compute aggregate statistics (single pass over the gate list)."""
-        counts: Counter[GateKind] = Counter(g.kind for g in self._gates)
+        """Compute aggregate statistics (one pass over the flat kinds)."""
+        table = self.table_if_ready()
+        if table is not None:
+            counts = table.counts_by_kind()
+        else:
+            counts = dict(Counter(g.kind for g in self._gates))
         return CircuitStats(
             qubit_count=self.num_qubits,
-            gate_count=len(self._gates),
-            counts_by_kind=dict(counts),
+            gate_count=self._gate_count(),
+            counts_by_kind=counts,
             two_qubit_count=counts.get(GateKind.CNOT, 0),
             is_ft=all(kind in FT_KINDS for kind in counts),
         )
@@ -215,15 +326,22 @@ class Circuit:
         immutable and the container only grows, so the verdict stays
         valid while the gate count is unchanged.
         """
-        count = len(self._gates)
+        count = self._gate_count()
         if self._is_ft is not None and self._is_ft[0] == count:
             return self._is_ft[1]
-        verdict = all(gate.kind in FT_KINDS for gate in self._gates)
+        table = self.table_if_ready()
+        if table is not None:
+            verdict = table.is_ft()
+        else:
+            verdict = all(gate.kind in FT_KINDS for gate in self._gates)
         self._is_ft = (count, verdict)
         return verdict
 
     def count_kind(self, kind: GateKind) -> int:
         """Number of gates of the given kind."""
+        table = self.table_if_ready()
+        if table is not None:
+            return table.counts_by_kind().get(kind, 0)
         return sum(1 for gate in self._gates if gate.kind is kind)
 
     def active_qubits(self) -> set[int]:
@@ -235,6 +353,13 @@ class Circuit:
 
     def one_qubit_ft_histogram(self) -> dict[GateKind, int]:
         """Counts of each one-qubit FT gate kind present in the circuit."""
+        table = self.table_if_ready()
+        if table is not None:
+            return {
+                kind: count
+                for kind, count in table.counts_by_kind().items()
+                if kind in ONE_QUBIT_FT_KINDS
+            }
         counts: Counter[GateKind] = Counter()
         for gate in self._gates:
             if gate.kind in ONE_QUBIT_FT_KINDS:
@@ -247,32 +372,64 @@ class Circuit:
         Two circuits with identical registers and gate lists share a
         fingerprint regardless of their names, which is what the engine's
         artifact cache keys content-derived stages (IIG, presence zones)
-        on.  The digest is computed lazily and cached; it stays valid
-        because gates are immutable and the container only ever *grows*
-        (``append``/``extend``/``add_qubit``), which is detected by the
-        ``(num_qubits, gate_count)`` version token.
+        on.  The digest is the blake2b of the canonical gate-record
+        stream (:meth:`GateTable.record_stream`): table-backed circuits
+        hash the flat buffer in one vectorized pass, object-backed ones
+        feed an *incremental* hasher, so appending gates only ever hashes
+        the new suffix — repeated cache-stage lookups re-serialize
+        nothing either way.
         """
-        token = (self.num_qubits, len(self._gates))
-        if self._fingerprint is not None and self._fingerprint[:2] == token:
-            return self._fingerprint[2]
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(str(self.num_qubits).encode())
-        for gate in self._gates:
-            digest.update(gate.kind.value.encode())
-            digest.update(b"|")
-            digest.update(",".join(map(str, gate.controls)).encode())
-            digest.update(b";")
-            digest.update(",".join(map(str, gate.targets)).encode())
-        value = digest.hexdigest()
-        self._fingerprint = (*token, value)
+        token = (self.num_qubits, self._gate_count())
+        if self._fp_cache is not None and self._fp_cache[0] == token:
+            return self._fp_cache[1]
+        state = self._fp_state
+        if (
+            state is None
+            or state[0] != token[0]  # register grew: prefix changed
+            or state[1] > token[1]
+        ):
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(struct.pack("<q", token[0]))
+            start = 0
+        else:
+            _, start, hasher = state
+        if start < token[1]:
+            table = self.table_if_ready()
+            if start == 0 and table is not None:
+                hasher.update(table.record_stream().tobytes())
+            else:
+                from .table import pack_gate_record
+
+                codes = KIND_CODES
+                for gate in self._gates[start:]:
+                    hasher.update(
+                        pack_gate_record(
+                            codes[gate.kind], gate.controls, gate.targets
+                        )
+                    )
+        self._fp_state = (token[0], token[1], hasher)
+        value = hasher.copy().hexdigest()
+        self._fp_cache = (token, value)
         return value
 
     def copy(self, name: str | None = None) -> "Circuit":
-        """Return a shallow copy (gates are immutable so sharing is safe)."""
+        """Return a shallow copy (gates are immutable so sharing is safe).
+
+        A table-backed circuit stays table-backed: the (immutable) table
+        is shared and no Gate objects are materialized.
+        """
         clone = Circuit(0, name or self.name)
         clone._qubit_names = list(self._qubit_names)
         clone._index_by_name = dict(self._index_by_name)
-        clone._gates = list(self._gates)
+        clone._gate_list = (
+            None if self._gate_list is None else list(self._gate_list)
+        )
+        clone._table = self.table_if_ready()
+        clone._table_token = (
+            None
+            if clone._table is None
+            else (self.num_qubits, self._gate_count())
+        )
         return clone
 
     def reversed(self) -> "Circuit":
@@ -295,5 +452,5 @@ class Circuit:
                 "can only concatenate circuits with identical qubit registers"
             )
         result = self.copy()
-        result._gates.extend(other._gates)
+        result._gates = self._gates + other._gates
         return result

@@ -241,12 +241,22 @@ def lower_toffoli(circuit: Circuit) -> Circuit:
     return result
 
 
-def synthesize_ft(circuit: Circuit, share_ancillas: bool = False) -> Circuit:
+def synthesize_ft(
+    circuit: Circuit, share_ancillas: bool = False, engine: str = "table"
+) -> Circuit:
     """Run the complete FT synthesis pipeline of the paper's section 4.1.
 
     Stages: multi-controlled expansion, SWAP elimination, Fredkin
     elimination, Toffoli lowering.  The output contains only gates from the
     fault-tolerant set {X, Y, Z, H, S, S†, T, T†, CNOT}.
+
+    ``engine`` selects the implementation: ``"table"`` (default) runs the
+    vectorized template-expansion passes of
+    :mod:`repro.circuits.table` over the circuit's flat
+    :class:`~repro.circuits.table.GateTable` and returns a table-backed
+    circuit (no Gate objects are created); ``"legacy"`` walks Gate
+    objects stage by stage — retained as the bitwise-equivalence oracle
+    (identical gate stream, register and ancilla names).
 
     Raises
     ------
@@ -255,6 +265,19 @@ def synthesize_ft(circuit: Circuit, share_ancillas: bool = False) -> Circuit:
         (cannot happen for circuits built from this library's gate kinds,
         but guards future extensions).
     """
+    if engine == "table":
+        from .table import lower_ft
+
+        lowered_table = lower_ft(
+            circuit.table(), share_ancillas=share_ancillas
+        )
+        result = Circuit.from_table(lowered_table)
+        result.name = circuit.name
+        return result
+    if engine != "legacy":
+        raise DecompositionError(
+            f"unknown synthesis engine {engine!r}; choose 'table' or 'legacy'"
+        )
     lowered = expand_multi_controlled(circuit, share_ancillas=share_ancillas)
     lowered = eliminate_swap(lowered)
     lowered = eliminate_fredkin(lowered)

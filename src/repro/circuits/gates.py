@@ -86,6 +86,16 @@ SYNTHESIS_KINDS: frozenset[GateKind] = frozenset(
 #: Mapping from mnemonic string (e.g. ``"tdg"``) back to the enum member.
 KIND_BY_NAME: dict[str, GateKind] = {kind.value: kind for kind in GateKind}
 
+#: Stable integer codes for the flat :mod:`repro.circuits.table` IR, in
+#: enum-definition order.  The codes index numpy lookup tables, so they
+#: must stay dense and start at zero; new kinds append at the end.
+KIND_CODES: dict[GateKind, int] = {
+    kind: code for code, kind in enumerate(GateKind)
+}
+
+#: Inverse of :data:`KIND_CODES`: ``KINDS_BY_CODE[code]`` is the enum member.
+KINDS_BY_CODE: tuple[GateKind, ...] = tuple(GateKind)
+
 #: Aliases accepted by parsers in addition to the canonical mnemonics.
 KIND_ALIASES: dict[str, GateKind] = {
     "not": GateKind.X,

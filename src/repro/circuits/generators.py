@@ -14,14 +14,20 @@ circuit *families* algorithmically at the same parameter points:
 * :func:`hamming_coder` — Hamming-code encoder + single-error corrector
   ("ham15" family).
 * :func:`ham3` — the 19-FT-gate ham3 circuit of the paper's Figure 2.
-* :func:`random_reversible`, :func:`cnot_ladder` — structured and random
-  circuits for tests and sweeps.
+* :func:`random_reversible`, :func:`random_ft`, :func:`cnot_ladder` —
+  structured and random circuits for tests, sweeps and the random
+  workload ensembles.
 
-Every generator returns synthesis-level gates (NOT/CNOT/Toffoli/Fredkin/
-MCT/MCF); run them through :func:`repro.circuits.decompose.synthesize_ft`
-to obtain the FT netlists the estimator and mapper consume.  All generators
-are deterministic given their arguments (and ``seed`` where applicable), and
-all are functionally verified by the test suite via basis-state simulation.
+Every generator streams its gates into a
+:class:`~repro.circuits.table.TableBuilder` — integer rows, no
+intermediate :class:`~repro.circuits.gates.Gate` objects — and returns a
+table-backed :class:`Circuit`, so building "gf2^256mult" costs array
+appends rather than a million gate allocations.  Synthesis-level outputs
+(NOT/CNOT/Toffoli/Fredkin/MCT/MCF) go through
+:func:`repro.circuits.decompose.synthesize_ft` to obtain the FT netlists
+the estimator and mapper consume.  All generators are deterministic given
+their arguments (and ``seed`` where applicable), and all are functionally
+verified by the test suite via basis-state simulation.
 """
 
 from __future__ import annotations
@@ -33,9 +39,8 @@ from typing import Sequence
 from .._validation import require_positive_int
 from ..exceptions import CircuitError
 from .circuit import Circuit
-from .decompose import toffoli_to_ft_gates
-from .gates import cnot, fredkin, mct, toffoli, x
-from .gf2 import find_irreducible, poly_degree, reduction_table
+from .gates import GateKind, cnot, fredkin, mct
+from .table import TableBuilder
 
 __all__ = [
     "ripple_adder",
@@ -45,6 +50,7 @@ __all__ = [
     "hamming_coder",
     "ham3",
     "random_reversible",
+    "random_ft",
     "cnot_ladder",
     "controlled_increment_gates",
     "controlled_rotation_gates",
@@ -56,14 +62,20 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def _carry_gates(c_in: int, a: int, b: int, c_out: int) -> list:
+def _emit_carry(b: TableBuilder, c_in: int, a: int, bq: int, c_out: int) -> None:
     """VBE CARRY block: (b, c_out) <- (a XOR b, carry(a, b, c_in))."""
-    return [toffoli(a, b, c_out), cnot(a, b), toffoli(c_in, b, c_out)]
+    b.toffoli(a, bq, c_out)
+    b.cnot(a, bq)
+    b.toffoli(c_in, bq, c_out)
 
 
-def _carry_inverse_gates(c_in: int, a: int, b: int, c_out: int) -> list:
-    """Inverse of :func:`_carry_gates`."""
-    return [toffoli(c_in, b, c_out), cnot(a, b), toffoli(a, b, c_out)]
+def _emit_carry_inverse(
+    b: TableBuilder, c_in: int, a: int, bq: int, c_out: int
+) -> None:
+    """Inverse of :func:`_emit_carry`."""
+    b.toffoli(c_in, bq, c_out)
+    b.cnot(a, bq)
+    b.toffoli(a, bq, c_out)
 
 
 def ripple_adder(n: int) -> Circuit:
@@ -84,25 +96,26 @@ def ripple_adder(n: int) -> Circuit:
         + [f"a{i}" for i in range(n)]
         + [f"b{i}" for i in range(n)]
     )
-    circuit = Circuit(3 * n, name=f"{n}bitadder", qubit_names=names)
+    builder = TableBuilder(3 * n, name=f"{n}bitadder", qubit_names=names)
     c = list(range(n))
     a = list(range(n, 2 * n))
     b = list(range(2 * n, 3 * n))
     if n == 1:
-        circuit.extend([cnot(a[0], b[0]), cnot(c[0], b[0])])
-        return circuit
+        builder.cnot(a[0], b[0])
+        builder.cnot(c[0], b[0])
+        return Circuit.from_table(builder.finish())
     # Forward carry cascade (bits 0 .. n-2 feed carries 1 .. n-1).
     for i in range(n - 1):
-        circuit.extend(_carry_gates(c[i], a[i], b[i], c[i + 1]))
+        _emit_carry(builder, c[i], a[i], b[i], c[i + 1])
     # Top bit: sum only; the carry out of bit n-1 is dropped (mod 2**n).
-    circuit.append(cnot(a[n - 1], b[n - 1]))
-    circuit.append(cnot(c[n - 1], b[n - 1]))
+    builder.cnot(a[n - 1], b[n - 1])
+    builder.cnot(c[n - 1], b[n - 1])
     # Downward sweep: undo carries, emit sums.
     for i in range(n - 2, -1, -1):
-        circuit.extend(_carry_inverse_gates(c[i], a[i], b[i], c[i + 1]))
-        circuit.append(cnot(a[i], b[i]))
-        circuit.append(cnot(c[i], b[i]))
-    return circuit
+        _emit_carry_inverse(builder, c[i], a[i], b[i], c[i + 1])
+        builder.cnot(a[i], b[i])
+        builder.cnot(c[i], b[i])
+    return Circuit.from_table(builder.finish())
 
 
 def modular_adder(n: int, modulus: int | None = None) -> Circuit:
@@ -141,6 +154,8 @@ def gf2_multiplier(n: int, modulus: int | None = None) -> Circuit:
     The qubit count is ``3n``, matching the paper's gf2 rows (e.g.
     "gf2^16mult" with 48 qubits).
     """
+    from .gf2 import find_irreducible, poly_degree, reduction_table
+
     require_positive_int(n, "n", CircuitError)
     if modulus is None:
         modulus = find_irreducible(n)
@@ -154,7 +169,7 @@ def gf2_multiplier(n: int, modulus: int | None = None) -> Circuit:
         + [f"b{i}" for i in range(n)]
         + [f"c{i}" for i in range(n)]
     )
-    circuit = Circuit(3 * n, name=f"gf2^{n}mult", qubit_names=names)
+    builder = TableBuilder(3 * n, name=f"gf2^{n}mult", qubit_names=names)
     a = list(range(n))
     b = list(range(n, 2 * n))
     c = list(range(2 * n, 3 * n))
@@ -163,8 +178,8 @@ def gf2_multiplier(n: int, modulus: int | None = None) -> Circuit:
             reduction = table[i + j]
             for m in range(n):
                 if (reduction >> m) & 1:
-                    circuit.append(toffoli(a[i], b[j], c[m]))
-    return circuit
+                    builder.toffoli(a[i], b[j], c[m])
+    return Circuit.from_table(builder.finish())
 
 
 # ---------------------------------------------------------------------------
@@ -180,7 +195,9 @@ def controlled_increment_gates(
 
     Ripple construction: the highest counter bit flips when the control and
     every lower bit are 1, descending to a plain CNOT on the lowest bit.
-    Bit ``j`` needs an MCT with ``j + 1`` controls.
+    Bit ``j`` needs an MCT with ``j + 1`` controls.  (Object-list twin of
+    :func:`_emit_controlled_increment`, kept for tests and callers that
+    compose gate lists.)
     """
     gates = []
     counter = list(counter)
@@ -188,6 +205,26 @@ def controlled_increment_gates(
         gates.append(mct((control, *counter[:j]), counter[j]))
     gates.append(cnot(control, counter[0]))
     return gates
+
+
+def _emit_controlled_increment(
+    builder: TableBuilder, control: int, counter: Sequence[int]
+) -> None:
+    """Table twin of :func:`controlled_increment_gates`."""
+    counter = list(counter)
+    for j in range(len(counter) - 1, 0, -1):
+        builder.mct((control, *counter[:j]), counter[j])
+    builder.cnot(control, counter[0])
+
+
+def _emit_controlled_increment_inverse(
+    builder: TableBuilder, control: int, counter: Sequence[int]
+) -> None:
+    """The increment gates in reversed order (every gate is self-inverse)."""
+    counter = list(counter)
+    builder.cnot(control, counter[0])
+    for j in range(1, len(counter)):
+        builder.mct((control, *counter[:j]), counter[j])
 
 
 def _reversal_swaps(positions: Sequence[int]) -> list[tuple[int, int]]:
@@ -201,6 +238,20 @@ def _reversal_swaps(positions: Sequence[int]) -> list[tuple[int, int]]:
     return pairs
 
 
+def _rotation_pairs(data: Sequence[int], amount: int) -> list[tuple[int, int]]:
+    """Swap pairs of the three-reversal left rotation by ``amount``."""
+    data = list(data)
+    n = len(data)
+    amount %= n
+    if amount == 0:
+        return []
+    return (
+        _reversal_swaps(data[:amount])
+        + _reversal_swaps(data[amount:])
+        + _reversal_swaps(data)
+    )
+
+
 def controlled_rotation_gates(
     control: int, data: Sequence[int], amount: int
 ) -> list:
@@ -212,17 +263,9 @@ def controlled_rotation_gates(
     ``rot_k = reverse(all) . reverse(k..n-1) . reverse(0..k-1)``, giving
     roughly ``1.5 n`` controlled swaps per stage.
     """
-    data = list(data)
-    n = len(data)
-    amount %= n
-    if amount == 0:
-        return []
-    pairs = (
-        _reversal_swaps(data[:amount])
-        + _reversal_swaps(data[amount:])
-        + _reversal_swaps(data)
-    )
-    return [fredkin(control, qa, qb) for qa, qb in pairs]
+    return [
+        fredkin(control, qa, qb) for qa, qb in _rotation_pairs(data, amount)
+    ]
 
 
 def hwb(n: int) -> Circuit:
@@ -246,21 +289,17 @@ def hwb(n: int) -> Circuit:
         raise CircuitError("hwb requires n >= 2")
     m = max(1, math.ceil(math.log2(n + 1)))
     names = [f"x{i}" for i in range(n)] + [f"w{j}" for j in range(m)]
-    circuit = Circuit(n + m, name=f"hwb{n}", qubit_names=names)
+    builder = TableBuilder(n + m, name=f"hwb{n}", qubit_names=names)
     data = list(range(n))
     counter = list(range(n, n + m))
     for qubit in data:
-        circuit.extend(controlled_increment_gates(qubit, counter))
+        _emit_controlled_increment(builder, qubit, counter)
     for j in range(m):
-        circuit.extend(
-            controlled_rotation_gates(counter[j], data, pow(2, j, n))
-        )
+        for qa, qb in _rotation_pairs(data, pow(2, j, n)):
+            builder.fredkin(counter[j], qa, qb)
     for qubit in data:
-        # Inverse of the controlled increment: reversed gate order (every
-        # gate is self-inverse).
-        gates = controlled_increment_gates(qubit, counter)
-        circuit.extend(reversed(gates))
-    return circuit
+        _emit_controlled_increment_inverse(builder, qubit, counter)
+    return Circuit.from_table(builder.finish())
 
 
 # ---------------------------------------------------------------------------
@@ -303,7 +342,7 @@ def hamming_coder(r: int, error_position: int | None = None) -> Circuit:
             f"error_position must be in 1..{n}, got {error_position}"
         )
     names = [f"x{p}" for p in range(1, n + 1)] + [f"s{j}" for j in range(r)]
-    circuit = Circuit(n + r, name=f"ham{n}", qubit_names=names)
+    builder = TableBuilder(n + r, name=f"ham{n}", qubit_names=names)
 
     def pos(p: int) -> int:
         return p - 1
@@ -314,24 +353,24 @@ def hamming_coder(r: int, error_position: int | None = None) -> Circuit:
     for j, parity_pos in enumerate(parity_positions):
         for p in range(1, n + 1):
             if p != parity_pos and (p >> j) & 1:
-                circuit.append(cnot(pos(p), pos(parity_pos)))
+                builder.cnot(pos(p), pos(parity_pos))
     # Channel: optional deterministic single-bit error.
     if error_position is not None:
-        circuit.append(x(pos(error_position)))
+        builder.x(pos(error_position))
     # Syndrome: s_j <- parity over *all* positions with bit j set.
     for j in range(r):
         for p in range(1, n + 1):
             if (p >> j) & 1:
-                circuit.append(cnot(pos(p), syndrome[j]))
+                builder.cnot(pos(p), syndrome[j])
     # Correct: flip position p when the syndrome equals p.
     for p in range(1, n + 1):
         zero_bits = [syndrome[j] for j in range(r) if not (p >> j) & 1]
         for q in zero_bits:
-            circuit.append(x(q))
-        circuit.append(mct(tuple(syndrome), pos(p)))
+            builder.x(q)
+        builder.mct(tuple(syndrome), pos(p))
         for q in zero_bits:
-            circuit.append(x(q))
-    return circuit
+            builder.x(q)
+    return Circuit.from_table(builder.finish())
 
 
 def ham3() -> Circuit:
@@ -340,10 +379,16 @@ def ham3() -> Circuit:
     One 3-input Toffoli expanded into its 15-gate FT realization followed
     by four CNOTs, yielding the 19-operation QODG drawn in Figure 2(b).
     """
-    circuit = Circuit(3, name="ham3", qubit_names=["a", "b", "c"])
-    circuit.extend(toffoli_to_ft_gates(0, 1, 2))
-    circuit.extend([cnot(1, 2), cnot(0, 1), cnot(2, 0), cnot(1, 2)])
-    return circuit
+    from .table import emit_toffoli_ft
+
+    builder = TableBuilder(3, name="ham3", qubit_names=["a", "b", "c"])
+    emit_toffoli_ft(builder, 0, 1, 2)
+    # Followed by the four CNOTs of Figure 2.
+    builder.cnot(1, 2)
+    builder.cnot(0, 1)
+    builder.cnot(2, 0)
+    builder.cnot(1, 2)
+    return Circuit.from_table(builder.finish())
 
 
 # ---------------------------------------------------------------------------
@@ -364,18 +409,62 @@ def random_reversible(
     if n < 3:
         raise CircuitError("random_reversible requires n >= 3")
     rng = random.Random(seed)
-    circuit = Circuit(n, name=f"random{n}x{gate_count}")
+    builder = TableBuilder(n, name=f"random{n}x{gate_count}")
     for _ in range(gate_count):
         roll = rng.random()
         if roll < toffoli_fraction:
             c1, c2, tgt = rng.sample(range(n), 3)
-            circuit.append(toffoli(c1, c2, tgt))
+            builder.toffoli(c1, c2, tgt)
         elif roll < toffoli_fraction + (1 - toffoli_fraction) / 2:
             c1, tgt = rng.sample(range(n), 2)
-            circuit.append(cnot(c1, tgt))
+            builder.cnot(c1, tgt)
         else:
-            circuit.append(x(rng.randrange(n)))
-    return circuit
+            builder.x(rng.randrange(n))
+    return Circuit.from_table(builder.finish())
+
+
+#: One-qubit kinds :func:`random_ft` draws from (uniformly).
+_RANDOM_FT_ONE_QUBIT = (
+    GateKind.X,
+    GateKind.Y,
+    GateKind.Z,
+    GateKind.H,
+    GateKind.S,
+    GateKind.SDG,
+    GateKind.T,
+    GateKind.TDG,
+)
+
+
+def random_ft(
+    n: int, gate_count: int, seed: int, cnot_fraction: float = 0.4
+) -> Circuit:
+    """Random circuit straight in the FT gate set; deterministic per seed.
+
+    ``cnot_fraction`` of the gates are CNOTs over a random qubit pair,
+    the rest uniform draws from the one-qubit FT kinds.  The output needs
+    no synthesis, making this the cheapest family for scheduler/estimator
+    ensemble sweeps (the ``random_ft`` workload).
+    """
+    require_positive_int(n, "n", CircuitError)
+    if n < 2:
+        raise CircuitError("random_ft requires n >= 2")
+    if not 0.0 <= cnot_fraction <= 1.0:
+        raise CircuitError(
+            f"cnot_fraction must be in [0, 1], got {cnot_fraction}"
+        )
+    rng = random.Random(seed)
+    builder = TableBuilder(n, name=f"randomft{n}x{gate_count}")
+    for _ in range(gate_count):
+        if rng.random() < cnot_fraction:
+            control, target = rng.sample(range(n), 2)
+            builder.cnot(control, target)
+        else:
+            builder.one_qubit(
+                _RANDOM_FT_ONE_QUBIT[rng.randrange(len(_RANDOM_FT_ONE_QUBIT))],
+                rng.randrange(n),
+            )
+    return Circuit.from_table(builder.finish())
 
 
 def cnot_ladder(n: int, layers: int = 1) -> Circuit:
@@ -388,8 +477,8 @@ def cnot_ladder(n: int, layers: int = 1) -> Circuit:
     require_positive_int(layers, "layers", CircuitError)
     if n < 2:
         raise CircuitError("cnot_ladder requires n >= 2")
-    circuit = Circuit(n, name=f"ladder{n}x{layers}")
+    builder = TableBuilder(n, name=f"ladder{n}x{layers}")
     for _ in range(layers):
         for i in range(n - 1):
-            circuit.append(cnot(i, i + 1))
-    return circuit
+            builder.cnot(i, i + 1)
+    return Circuit.from_table(builder.finish())

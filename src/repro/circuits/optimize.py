@@ -122,12 +122,20 @@ def cancel_pairs_once(circuit: Circuit) -> tuple[Circuit, int]:
     return result, rewrites
 
 
-def optimize_ft(circuit: Circuit, max_passes: int = 100) -> Circuit:
+def optimize_ft(
+    circuit: Circuit, max_passes: int = 100, engine: str = "table"
+) -> Circuit:
     """Iterate :func:`cancel_pairs_once` to a fixed point.
 
     Accepts any circuit but only rewrites FT-set gates; synthesis-level
     gates (Toffoli etc.) pass through untouched (they still participate
     in adjacency tracking, so rewrites never move a gate across them).
+
+    ``engine="table"`` (default) runs the array-scan pass of
+    :func:`repro.circuits.table.optimize_table` over the circuit's flat
+    table; ``engine="legacy"`` iterates the object-walking
+    :func:`cancel_pairs_once`, retained as the bitwise-equivalence
+    oracle.
 
     Raises
     ------
@@ -136,6 +144,18 @@ def optimize_ft(circuit: Circuit, max_passes: int = 100) -> Circuit:
         happen — every pass strictly shrinks or preserves the gate list —
         but guards the loop).
     """
+    if engine == "table":
+        from .circuit import Circuit as _Circuit
+        from .table import optimize_table
+
+        optimized = optimize_table(circuit.table(), max_passes=max_passes)
+        result = _Circuit.from_table(optimized)
+        result.name = circuit.name
+        return result
+    if engine != "legacy":
+        raise CircuitError(
+            f"unknown optimizer engine {engine!r}; choose 'table' or 'legacy'"
+        )
     current = circuit
     for _ in range(max_passes):
         current, rewrites = cancel_pairs_once(current)

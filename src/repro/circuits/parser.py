@@ -17,7 +17,15 @@ Two textual formats are supported:
   controls first, then targets.
 
 Both readers are strict: malformed lines raise :class:`ParseError` with a
-line number.
+line number (including gate-construction errors such as repeated
+operands), and blank or comment-only lines are accepted anywhere — in
+particular after ``.end``.
+
+Both readers stream gate lines straight into a
+:class:`~repro.circuits.table.TableBuilder` — five integer appends per
+gate, no intermediate :class:`~repro.circuits.gates.Gate` objects — and
+return a table-backed :class:`~repro.circuits.circuit.Circuit`, so a
+million-line netlist parses without a million gate allocations.
 """
 
 from __future__ import annotations
@@ -28,13 +36,8 @@ from typing import TextIO
 
 from ..exceptions import CircuitError, ParseError
 from .circuit import Circuit
-from .gates import (
-    Gate,
-    GateKind,
-    kind_from_name,
-    mcf,
-    mct,
-)
+from .gates import GateKind, kind_from_name
+from .table import TableBuilder
 
 __all__ = [
     "read_real",
@@ -72,13 +75,14 @@ def read_real(source: TextIO | str | Path, name: str | None = None) -> Circuit:
     -------
     Circuit
         Circuit over the declared variables, containing X/CNOT/TOFFOLI/
-        FREDKIN/MCT/MCF gates.
+        FREDKIN/MCT/MCF gates, backed by a flat
+        :class:`~repro.circuits.table.GateTable`.
     """
     if isinstance(source, (str, Path)):
         path = Path(source)
         with path.open("r", encoding="utf-8") as stream:
             return read_real(stream, name=name or path.stem)
-    circuit: Circuit | None = None
+    builder: TableBuilder | None = None
     declared_numvars: int | None = None
     variables: list[str] | None = None
     in_body = False
@@ -86,7 +90,7 @@ def read_real(source: TextIO | str | Path, name: str | None = None) -> Circuit:
     for line_number, raw in enumerate(source, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
-            continue
+            continue  # blank or comment-only lines are fine anywhere
         if ended:
             raise ParseError("content after .end", line_number)
         lowered = line.lower()
@@ -122,7 +126,9 @@ def read_real(source: TextIO | str | Path, name: str | None = None) -> Circuit:
                         line_number,
                     )
                 try:
-                    circuit = Circuit(len(variables), qubit_names=variables)
+                    builder = TableBuilder(
+                        len(variables), qubit_names=variables
+                    )
                 except CircuitError as error:
                     raise ParseError(str(error), line_number) from None
                 in_body = True
@@ -147,23 +153,24 @@ def read_real(source: TextIO | str | Path, name: str | None = None) -> Circuit:
             continue
         if not in_body:
             raise ParseError(f"gate line {line!r} before .begin", line_number)
-        assert circuit is not None
-        circuit.append(_parse_real_gate(line, circuit, line_number))
-    if circuit is None:
+        assert builder is not None
+        _parse_real_gate(line, builder, line_number)
+    if builder is None:
         raise ParseError("no .begin section found")
     if in_body and not ended:
         raise ParseError("missing .end")
-    circuit.name = name or "circuit"
-    return circuit
+    return Circuit.from_table(builder.finish(name=name or "circuit"))
 
 
-def _parse_real_gate(line: str, circuit: Circuit, line_number: int) -> Gate:
+def _parse_real_gate(
+    line: str, builder: TableBuilder, line_number: int
+) -> None:
     """Parse one RevLib gate line (``t<n>``/``f<n>`` conventions)."""
     tokens = line.split()
     mnemonic = tokens[0].lower()
     operand_names = tokens[1:]
     try:
-        operands = [circuit.qubit_index(qname) for qname in operand_names]
+        operands = [builder.qubit_index(qname) for qname in operand_names]
     except CircuitError as error:
         raise ParseError(str(error), line_number) from None
     try:
@@ -175,7 +182,8 @@ def _parse_real_gate(line: str, circuit: Circuit, line_number: int) -> Gate:
                     f"{len(operands)}",
                     line_number,
                 )
-            return mct(tuple(operands[:-1]), operands[-1])
+            builder.mct(tuple(operands[:-1]), operands[-1])
+            return
         if mnemonic.startswith("f") and mnemonic[1:].isdigit():
             size = int(mnemonic[1:])
             if size < 2 or len(operands) != size:
@@ -184,7 +192,8 @@ def _parse_real_gate(line: str, circuit: Circuit, line_number: int) -> Gate:
                     f"{len(operands)}",
                     line_number,
                 )
-            return mcf(tuple(operands[:-2]), operands[-2], operands[-1])
+            builder.mcf(tuple(operands[:-2]), operands[-2], operands[-1])
+            return
         raise ParseError(f"unknown gate mnemonic {mnemonic!r}", line_number)
     except CircuitError as error:
         raise ParseError(str(error), line_number) from None
@@ -213,15 +222,22 @@ def write_real(circuit: Circuit, destination: TextIO | str | Path) -> None:
     destination.write(f".numvars {circuit.num_qubits}\n")
     destination.write(".variables " + " ".join(names) + "\n")
     destination.write(".begin\n")
-    for gate in circuit:
-        operand_names = [names[q] for q in gate.qubits]
-        if gate.kind in (GateKind.X, GateKind.CNOT, GateKind.TOFFOLI, GateKind.MCT):
-            destination.write(f"t{gate.arity} " + " ".join(operand_names) + "\n")
-        elif gate.kind in (GateKind.FREDKIN, GateKind.MCF):
-            destination.write(f"f{gate.arity} " + " ".join(operand_names) + "\n")
+    table = circuit.table()
+    for index in range(len(table)):
+        kind = table.gate_kind(index)
+        operands = table.controls_of(index) + table.targets_of(index)
+        operand_names = [names[q] for q in operands]
+        if kind in (GateKind.X, GateKind.CNOT, GateKind.TOFFOLI, GateKind.MCT):
+            destination.write(
+                f"t{len(operands)} " + " ".join(operand_names) + "\n"
+            )
+        elif kind in (GateKind.FREDKIN, GateKind.MCF):
+            destination.write(
+                f"f{len(operands)} " + " ".join(operand_names) + "\n"
+            )
         else:
             raise CircuitError(
-                f"gate kind {gate.kind.value!r} is not representable in .real"
+                f"gate kind {kind.value!r} is not representable in .real"
             )
     destination.write(".end\n")
 
@@ -244,7 +260,7 @@ def read_qasm_lite(
         path = Path(source)
         with path.open("r", encoding="utf-8") as stream:
             return read_qasm_lite(stream, name=name or path.stem)
-    circuit = Circuit(0, name or "circuit")
+    builder = TableBuilder(0, name or "circuit")
     for line_number, raw in enumerate(source, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -255,41 +271,44 @@ def read_qasm_lite(
             if len(tokens) != 2 or not tokens[1].isdigit():
                 raise ParseError("qubits expects a count", line_number)
             for _ in range(int(tokens[1])):
-                circuit.add_qubit()
+                builder.add_qubit()
             continue
         if mnemonic == "qubit":
             if len(tokens) != 2:
                 raise ParseError("qubit expects one name", line_number)
             try:
-                circuit.add_qubit(tokens[1])
+                builder.add_qubit(tokens[1])
             except CircuitError as error:
                 raise ParseError(str(error), line_number) from None
             continue
         try:
             kind = kind_from_name(mnemonic)
-            operands = [circuit.qubit_index(qname) for qname in tokens[1:]]
-            circuit.append(_gate_from_operands(kind, operands))
+            operands = [builder.qubit_index(qname) for qname in tokens[1:]]
+            _append_from_operands(builder, kind, operands)
         except CircuitError as error:
             raise ParseError(str(error), line_number) from None
-    return circuit
+    return Circuit.from_table(builder.finish())
 
 
-def _gate_from_operands(kind: GateKind, operands: list[int]) -> Gate:
-    """Build a gate from a flat operand list using the kind's arity rules."""
+def _append_from_operands(
+    builder: TableBuilder, kind: GateKind, operands: list[int]
+) -> None:
+    """Append a gate from a flat operand list using the kind's arity rules."""
     if kind is GateKind.CNOT:
-        return Gate(kind, tuple(operands[:1]), tuple(operands[1:]))
-    if kind is GateKind.TOFFOLI:
-        return Gate(kind, tuple(operands[:2]), tuple(operands[2:]))
-    if kind is GateKind.FREDKIN:
-        return Gate(kind, tuple(operands[:1]), tuple(operands[1:]))
-    if kind is GateKind.SWAP:
-        return Gate(kind, (), tuple(operands))
-    if kind is GateKind.MCT:
-        return mct(tuple(operands[:-1]), operands[-1])
-    if kind is GateKind.MCF:
-        return mcf(tuple(operands[:-2]), operands[-2], operands[-1])
-    # One-qubit FT gates.
-    return Gate(kind, (), tuple(operands))
+        builder.append_kind(kind, operands[:1], operands[1:])
+    elif kind is GateKind.TOFFOLI:
+        builder.append_kind(kind, operands[:2], operands[2:])
+    elif kind is GateKind.FREDKIN:
+        builder.append_kind(kind, operands[:1], operands[1:])
+    elif kind is GateKind.SWAP:
+        builder.append_kind(kind, (), operands)
+    elif kind is GateKind.MCT:
+        builder.mct(tuple(operands[:-1]), operands[-1])
+    elif kind is GateKind.MCF:
+        builder.mcf(tuple(operands[:-2]), operands[-2], operands[-1])
+    else:
+        # One-qubit FT gates.
+        builder.append_kind(kind, (), operands)
 
 
 def writes_qasm_lite(circuit: Circuit) -> str:
@@ -309,6 +328,10 @@ def write_qasm_lite(circuit: Circuit, destination: TextIO | str | Path) -> None:
     names = circuit.qubit_names
     for qname in names:
         destination.write(f"qubit {qname}\n")
-    for gate in circuit:
-        operand_names = " ".join(names[q] for q in gate.qubits)
-        destination.write(f"{gate.kind.value} {operand_names}\n")
+    table = circuit.table()
+    for index in range(len(table)):
+        operands = table.controls_of(index) + table.targets_of(index)
+        operand_names = " ".join(names[q] for q in operands)
+        destination.write(
+            f"{table.gate_kind(index).value} {operand_names}\n"
+        )

@@ -23,6 +23,12 @@ Subcommands
 ``benchmarks``
     List the registered benchmark circuits.
 
+``workloads``
+    List the workload families (named parameterized scenario ensembles,
+    :mod:`repro.workloads`), enumerate one family's members, or — with
+    ``--run`` — sweep every member through the engine: each member's FT
+    netlist is lowered exactly once via the cache's keyed ``ft`` stage.
+
 Netlist files are recognised by extension: ``.real`` (RevLib subset) or
 anything else as qasm-lite.  Non-FT circuits are passed through the
 paper's FT synthesis flow automatically.
@@ -78,8 +84,15 @@ def _params_from_args(args: argparse.Namespace) -> PhysicalParams:
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "circuit",
-        help="benchmark name (see 'leqa benchmarks') or netlist path",
+        help=(
+            "benchmark name (see 'leqa benchmarks'), workload member "
+            "(see 'leqa workloads') or netlist path"
+        ),
     )
+    _add_param_options(parser)
+
+
+def _add_param_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--width", type=int, default=60, help="fabric width a (default 60)"
     )
@@ -246,6 +259,50 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("benchmarks", help="list registered benchmarks")
+
+    workloads = subparsers.add_parser(
+        "workloads",
+        help="list, enumerate and sweep workload families",
+        description=(
+            "Without arguments, list the registered workload families "
+            "(named parameterized scenario ensembles).  With a family "
+            "name, enumerate its members; add --run to sweep every "
+            "member through the execution engine with the shared "
+            "artifact cache (each member's FT netlist is lowered exactly "
+            "once)."
+        ),
+    )
+    workloads.add_argument(
+        "family",
+        nargs="?",
+        help="workload family to enumerate (omit to list families)",
+    )
+    workloads.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a family parameter (repeatable), e.g. --set n_max=32",
+    )
+    workloads.add_argument(
+        "--run",
+        action="store_true",
+        help="sweep every member through the engine and print latencies",
+    )
+    workloads.add_argument(
+        "--backend",
+        default="leqa",
+        choices=backend_names(),
+        help="registered engine backend for --run (default: leqa)",
+    )
+    workloads.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers for --run (0/1 = serial; default 1)",
+    )
+    _add_param_options(workloads)
     return parser
 
 
@@ -483,6 +540,83 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_overrides(items: list[str]) -> dict[str, int]:
+    overrides: dict[str, int] = {}
+    for item in items:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ReproError(
+                f"--set expects KEY=VALUE, got {item!r}"
+            )
+        try:
+            overrides[key.strip()] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"--set values must be integers, got {item!r}"
+            ) from None
+    return overrides
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from .engine.runner import sweep_workload
+    from .workloads import WORKLOADS, enumerate_members, get_workload
+
+    if args.family is None:
+        print(f"{'name':<12} {'members':>8}  {'summary'}")
+        print("-" * 64)
+        for name, family in WORKLOADS.items():
+            members = family.enumerate(dict(family.defaults))
+            print(f"{name:<12} {len(members):>8}  {family.summary}")
+        print(
+            "\nparameters: "
+            + "; ".join(
+                f"{name}({', '.join(f'{k}={v}' for k, v in fam.defaults.items())})"
+                for name, fam in WORKLOADS.items()
+                if fam.defaults
+            )
+        )
+        return 0
+    get_workload(args.family)  # validate before parsing overrides
+    overrides = _parse_overrides(args.overrides)
+    members = enumerate_members(args.family, **overrides)
+    if not args.run:
+        for member in members:
+            print(member)
+        return 0
+    runner = BatchRunner(workers=args.workers)
+    started = time.perf_counter()
+    results = sweep_workload(
+        args.family,
+        overrides=overrides,
+        params_grid=[_params_from_args(args)],
+        backend=args.backend,
+        runner=runner,
+    )
+    wall = time.perf_counter() - started
+    print(f"workload           {args.family} ({len(results)} members)")
+    print(f"backend            {args.backend}")
+    print(f"{'member':<42} {'latency (s)':<14} {'time (s)':<10}")
+    print("-" * 67)
+    failures = 0
+    for point in results:
+        if not point.ok:
+            failures += 1
+            print(f"{point.job.tag:<42} error: {point.error}")
+            continue
+        print(
+            f"{point.job.tag:<42} "
+            f"{format_scientific(point.result.latency_seconds):<14} "
+            f"{point.result.elapsed_seconds:<10.3f}"
+        )
+    stats = runner.cache.stats()
+    print(
+        f"\nsweep wall time    {wall:.3f} s; cache reuse: "
+        f"ft x{stats.miss_count('ft')} built / x{stats.hit_count('ft')} "
+        "reused"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_arg_parser()
@@ -494,6 +628,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "heatmap": _cmd_heatmap,
         "benchmarks": _cmd_benchmarks,
+        "workloads": _cmd_workloads,
     }
     try:
         return handlers[args.command](args)

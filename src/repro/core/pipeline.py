@@ -350,6 +350,9 @@ def _delay_callable(table: dict[GateKind, float]) -> Callable[[Gate], float]:
                 "run synthesize_ft() before estimating"
             ) from None
 
+    # Expose the per-kind table so sweep_critical_path can run its
+    # Gate-free column recurrence on table-backed circuits.
+    delay.kind_table = table
     return delay
 
 

@@ -46,7 +46,13 @@ from .cache import (
     circuit_fingerprint,
     params_fingerprint,
 )
-from .runner import BatchRunner, Job, JobResult, sweep_fabric_sizes
+from .runner import (
+    BatchRunner,
+    Job,
+    JobResult,
+    sweep_fabric_sizes,
+    sweep_workload,
+)
 from .spec import CircuitSpec
 
 __all__ = [
@@ -66,5 +72,6 @@ __all__ = [
     "Job",
     "JobResult",
     "sweep_fabric_sizes",
+    "sweep_workload",
     "CircuitSpec",
 ]

@@ -204,7 +204,9 @@ class ArtifactCache:
         """Stage 2: the fault-tolerant netlist (FT synthesis on stage 1).
 
         Already-FT sources (e.g. an FT netlist file) pass through without
-        a second synthesis.
+        a second synthesis.  Keyed per ``(source, share_ancillas)`` —
+        one lowering per member however many parameter points a batch
+        sweep visits it at (the property the workload tests assert).
         """
         from ..circuits.decompose import synthesize_ft
 
@@ -217,6 +219,27 @@ class ArtifactCache:
             )
 
         key = (spec.source, spec.share_ancillas)
+        return self._get_or_build("ft", key, build_ft)
+
+    def ft_of(self, circuit: Circuit, share_ancillas: bool = False) -> Circuit:
+        """FT-synthesize an in-hand circuit through the keyed ``ft`` stage.
+
+        Content-addressed twin of :meth:`ft_circuit` for callers that
+        hold a built circuit instead of a spec (ad-hoc sweeps and
+        notebooks; spec-shaped paths such as the workload batch runner
+        stay on the cheaper source-keyed :meth:`ft_circuit`): the stage
+        key is the circuit's content fingerprint, so two
+        differently-named sources with byte-identical gate streams share
+        one lowering.
+        """
+        from ..circuits.decompose import synthesize_ft
+
+        def build_ft() -> Circuit:
+            if circuit.is_ft():
+                return circuit
+            return synthesize_ft(circuit, share_ancillas=share_ancillas)
+
+        key = (circuit_fingerprint(circuit), share_ancillas)
         return self._get_or_build("ft", key, build_ft)
 
     def iig(self, circuit: Circuit) -> IIG:

@@ -46,7 +46,13 @@ from .backend import BackendResult, get_backend
 from .cache import ArtifactCache
 from .spec import CircuitSpec
 
-__all__ = ["Job", "JobResult", "BatchRunner", "sweep_fabric_sizes"]
+__all__ = [
+    "Job",
+    "JobResult",
+    "BatchRunner",
+    "sweep_fabric_sizes",
+    "sweep_workload",
+]
 
 _EXECUTORS = ("serial", "thread", "process")
 
@@ -239,6 +245,58 @@ def sweep_fabric_sizes(
             tag=f"{size}x{size}",
         )
         for size in sizes
+    ]
+    if runner is None:
+        runner = BatchRunner(workers=1)
+    return runner.run(jobs)
+
+
+def sweep_workload(
+    workload: str,
+    overrides: Mapping[str, int] | None = None,
+    params_grid: Iterable[PhysicalParams] | None = None,
+    backend: str = "leqa",
+    runner: BatchRunner | None = None,
+    share_ancillas: bool = False,
+    **options: object,
+) -> list[JobResult]:
+    """Evaluate every member of a workload family across a parameter grid.
+
+    The member list comes from
+    :func:`repro.workloads.enumerate_members` (``overrides`` refine the
+    family's parameter defaults); each (member, params) pair becomes one
+    :class:`Job` tagged with the member's label — suffixed with the grid
+    position and fabric size when the grid has more than one point, so
+    result rows stay distinguishable.  Jobs run through the shared
+    artifact cache, whose keyed ``ft`` stage lowers each member's
+    netlist exactly once for the whole grid.
+    """
+    from ..workloads import enumerate_members, member_label
+
+    members = enumerate_members(workload, **dict(overrides or {}))
+    grid = (
+        list(params_grid) if params_grid is not None else [DEFAULT_PARAMS]
+    )
+    if not grid:
+        raise EngineError("params_grid must contain at least one point")
+
+    def tag_for(member: str, index: int, point: PhysicalParams) -> str:
+        label = member_label(member)
+        if len(grid) == 1:
+            return label
+        fabric = point.fabric
+        return f"{label} @{index}:{fabric.width}x{fabric.height}"
+
+    jobs = [
+        Job(
+            spec=CircuitSpec(member, share_ancillas=share_ancillas),
+            backend=backend,
+            params=point,
+            options=dict(options),
+            tag=tag_for(member, index, point),
+        )
+        for member in members
+        for index, point in enumerate(grid)
     ]
     if runner is None:
         runner = BatchRunner(workers=1)

@@ -36,8 +36,9 @@ class CircuitSpec:
     Attributes
     ----------
     source:
-        Registered benchmark name (see ``repro.circuits.library``) or a
-        netlist file path.
+        Registered benchmark name (see ``repro.circuits.library``), a
+        ``workload:...`` member string (see :mod:`repro.workloads`), or
+        a netlist file path.
     ft:
         When ``True`` (default) the engine works with the fault-tolerant
         netlist (the paper's decomposition flow applied on top of the
@@ -56,15 +57,21 @@ class CircuitSpec:
         Raises
         ------
         EngineError
-            If the source is neither a registered benchmark nor a file.
+            If the source is neither a registered benchmark, nor a
+            workload member, nor a file.
         """
         if self.source in BENCHMARKS:
             return build(self.source)
+        if self.source.startswith("workload:"):
+            from ..workloads import build_member
+
+            return build_member(self.source)
         path = Path(self.source)
         if not path.exists():
             raise EngineError(
-                f"{self.source!r} is neither a registered benchmark nor a "
-                "file; run 'leqa benchmarks' for the registry"
+                f"{self.source!r} is neither a registered benchmark, a "
+                "workload member, nor a file; run 'leqa benchmarks' or "
+                "'leqa workloads' for the registries"
             )
         if path.suffix == ".real":
             return read_real(path)

@@ -66,6 +66,9 @@ def delays_from_mapping(
                 f"no delay registered for gate kind {gate.kind.value!r}"
             ) from None
 
+    # Expose the mapping so critical_path/sweep_critical_path can run
+    # their Gate-free column recurrences on table-backed circuits.
+    delay.kind_table = dict(delay_by_kind)
     return delay
 
 
@@ -99,10 +102,40 @@ def critical_path(
     # dist[node] = longest path length ending at (and including) node.
     dist = [0.0] * (num_ops + 2)
     best_pred = [-1] * (num_ops + 2)
-    gates = qodg.circuit.gates
+    circuit = qodg.circuit
+    # Gate-free fast path: a per-kind delay callable (it carries a
+    # ``kind_table``, as the pipeline's node-delay callables do) on a
+    # table-backed circuit resolves every node delay from the flat kind
+    # column — no Gate objects, same floats.  Missing kinds fall back to
+    # the callable so its error surfaces unchanged; negative delays
+    # raise here exactly as the per-gate check would, at the first
+    # offending node in program order.
+    node_delays: list[float] | None = None
+    codes: list[int] | None = None
+    kind_table = getattr(delay, "kind_table", None)
+    table = circuit.table_if_ready() if kind_table is not None else None
+    if table is not None:
+        import numpy as np
+
+        from ..circuits.gates import KIND_CODES, KINDS_BY_CODE
+
+        lut = np.full(len(KINDS_BY_CODE), np.nan)
+        for kind, value in kind_table.items():
+            lut[KIND_CODES[kind]] = value
+        resolved = lut[table.kind]
+        if not (resolved.size and np.isnan(resolved).any()):
+            if resolved.size and float(resolved.min()) < 0:
+                offender = int(np.argmax(resolved < 0))
+                raise GraphError(
+                    f"negative delay {resolved[offender]} for gate "
+                    f"{table.gate(offender)}"
+                )
+            node_delays = resolved.tolist()
+            codes = table.kind.tolist()
+    gates = circuit.gates if node_delays is None else None
     # Hot path: read the adjacency lists directly rather than through the
     # bounds-checked accessor (this loop dominates LEQA's runtime).
-    all_preds = qodg._preds
+    all_preds, _ = qodg._lists()
     for node in range(num_ops):
         best = 0.0
         pred_choice = start
@@ -111,11 +144,14 @@ def critical_path(
             if pred_dist > best:
                 best = pred_dist
                 pred_choice = pred
-        node_delay = delay(gates[node])
-        if node_delay < 0:
-            raise GraphError(
-                f"negative delay {node_delay} for gate {gates[node]}"
-            )
+        if node_delays is not None:
+            node_delay = node_delays[node]
+        else:
+            node_delay = delay(gates[node])
+            if node_delay < 0:
+                raise GraphError(
+                    f"negative delay {node_delay} for gate {gates[node]}"
+                )
         dist[node] = best + node_delay
         best_pred[node] = pred_choice
     best = 0.0
@@ -136,9 +172,16 @@ def critical_path(
     path.reverse()
 
     counts: dict[GateKind, int] = {}
-    for node in path:
-        kind = gates[node].kind
-        counts[kind] = counts.get(kind, 0) + 1
+    if codes is not None:
+        from ..circuits.gates import KINDS_BY_CODE
+
+        for node in path:
+            kind = KINDS_BY_CODE[codes[node]]
+            counts[kind] = counts.get(kind, 0) + 1
+    else:
+        for node in path:
+            kind = gates[node].kind
+            counts[kind] = counts.get(kind, 0) + 1
     return CriticalPathResult(
         length=dist[end],
         node_ids=tuple(path),

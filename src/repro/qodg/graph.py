@@ -7,18 +7,26 @@ one edge in and one out; a two-qubit operation two in and two out.  Edges
 between the same node pair are merged, a *start* node feeds the first
 operation on every qubit and an *end* node collects the last.
 
-The graph is stored as flat predecessor/successor adjacency lists indexed
-by operation position; because gates are threaded in program order the node
-numbering is already a topological order (start first, end last), which the
-critical-path pass exploits.  A :meth:`QODG.to_networkx` export exists for
-interoperability and visual debugging, but nothing in the estimation path
-depends on networkx.
+The graph is stored as flat predecessor/successor adjacency in
+compressed-sparse-row form; because gates are threaded in program order
+the node numbering is already a topological order (start first, end
+last), which the critical-path pass exploits.  For table-backed circuits
+(the array-native front-end) the CSR core is built **straight from the
+flat :class:`~repro.circuits.table.GateTable`** in one vectorized
+per-qubit threading pass — no Gate objects, no per-node Python lists;
+object-built circuits fall back to the historical list threading, and
+both constructions produce bitwise-identical arrays (asserted by
+``tests/test_table_equivalence.py``).  Python adjacency lists are
+materialized lazily for the object API, and a :meth:`QODG.to_networkx`
+export exists for interoperability and visual debugging.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterator
+
+import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate
@@ -68,8 +76,6 @@ class QODGArrays:
         The ready-set seed for list scheduling: an op with zero remaining
         operation predecessors may run immediately.
         """
-        import numpy as np
-
         counts = self.in_degrees()[: self.num_ops].copy()
         # Start-edge targets are exactly the first op on each qubit.
         start_row = self.succ_indices[
@@ -98,6 +104,100 @@ class QODGArrays:
         ]
 
 
+def _csr_from_table(table, start: int, end: int) -> QODGArrays:
+    """One vectorized per-qubit threading pass over a flat gate table.
+
+    Reproduces the list-threading construction bit for bit: successor
+    rows hold increasing targets (with ``end`` last), predecessor rows
+    hold sources in operand order (controls first) with in-gate
+    duplicates merged, and ``preds[end]`` lists distinct last-touchers in
+    qubit order.
+    """
+    num_ops = len(table)
+    num_qubits = table.num_qubits
+    if num_ops == 0 or num_qubits == 0:
+        zeros3 = np.zeros(3, dtype=np.int64)
+        return QODGArrays(
+            pred_indptr=zeros3.copy(),
+            pred_indices=np.empty(0, dtype=np.int64),
+            succ_indptr=zeros3.copy(),
+            succ_indices=np.empty(0, dtype=np.int64),
+            qubit_indptr=np.zeros(num_qubits + 1, dtype=np.int64),
+            qubit_ops=np.empty(0, dtype=np.int64),
+            num_ops=num_ops,
+            start=start,
+            end=end,
+        )
+    o0, o1 = table.operand_pairs()
+    # Flatten operand occurrences in (gate, slot) order; slot order is
+    # controls-then-targets, exactly the order the object threading walks.
+    flat_q = np.empty(num_ops * 2, dtype=np.int64)
+    flat_q[0::2] = o0
+    flat_q[1::2] = o1
+    valid = flat_q >= 0
+    flat_q = flat_q[valid]
+    flat_op = np.repeat(np.arange(num_ops, dtype=np.int64), 2)[valid]
+    # Per-qubit program-order rows via one stable counting sort.
+    order = np.argsort(flat_q, kind="stable")
+    sorted_ops = flat_op[order]
+    counts = np.bincount(flat_q, minlength=num_qubits)
+    qubit_indptr = np.zeros(num_qubits + 1, dtype=np.int64)
+    np.cumsum(counts, out=qubit_indptr[1:])
+    # Previous op on the same qubit for every occurrence (start if first).
+    prev = np.empty_like(sorted_ops)
+    prev[1:] = sorted_ops[:-1]
+    row_starts = qubit_indptr[:-1][counts > 0]
+    prev[row_starts] = start
+    # Scatter back to (gate, slot) order.
+    src_sorted_inverse = np.empty_like(prev)
+    src_sorted_inverse[order] = prev
+    src_all = np.full(num_ops * 2, -2, dtype=np.int64)
+    src_all[valid] = src_sorted_inverse
+    src0 = src_all[0::2]
+    src1 = src_all[1::2]
+    # In-gate merge: the second operand contributes an edge only when its
+    # source differs from the first's (the "combine parallel edges" rule).
+    keep2 = (src1 != -2) & (src1 != src0)
+    # End edges: distinct last-touchers, first occurrence in qubit order.
+    lasts = sorted_ops[qubit_indptr[1:][counts > 0] - 1]
+    _, first_idx = np.unique(lasts, return_index=True)
+    end_preds = lasts[np.sort(first_idx)]
+    # Predecessor CSR: ops rows, empty start row, end row.
+    pred_counts = np.empty(num_ops + 2, dtype=np.int64)
+    pred_counts[:num_ops] = 1 + keep2
+    pred_counts[num_ops] = 0
+    pred_counts[num_ops + 1] = len(end_preds)
+    pred_indptr = np.zeros(num_ops + 3, dtype=np.int64)
+    np.cumsum(pred_counts, out=pred_indptr[1:])
+    pred_indices = np.empty(int(pred_indptr[-1]), dtype=np.int64)
+    base = pred_indptr[:num_ops]
+    pred_indices[base] = src0
+    pred_indices[(base + 1)[keep2]] = src1[keep2]
+    pred_indices[pred_indptr[num_ops + 1] :] = end_preds
+    # Successor CSR from the unique directed-edge list, grouped by source
+    # with targets increasing (end sorts last: its id exceeds every op's).
+    ops_ids = np.arange(num_ops, dtype=np.int64)
+    pair_u = np.concatenate((src0, src1[keep2], end_preds))
+    pair_v = np.concatenate(
+        (ops_ids, ops_ids[keep2], np.full(len(end_preds), end, dtype=np.int64))
+    )
+    edge_order = np.lexsort((pair_v, pair_u))
+    succ_counts = np.bincount(pair_u, minlength=num_ops + 2)[: num_ops + 2]
+    succ_indptr = np.zeros(num_ops + 3, dtype=np.int64)
+    np.cumsum(succ_counts, out=succ_indptr[1:])
+    return QODGArrays(
+        pred_indptr=pred_indptr,
+        pred_indices=pred_indices,
+        succ_indptr=succ_indptr,
+        succ_indices=pair_v[edge_order],
+        qubit_indptr=qubit_indptr,
+        qubit_ops=sorted_ops,
+        num_ops=num_ops,
+        start=start,
+        end=end,
+    )
+
+
 class QODG:
     """The dependency DAG of a circuit's operations.
 
@@ -109,11 +209,23 @@ class QODG:
 
     def __init__(self, circuit: Circuit) -> None:
         self._circuit = circuit
-        gates = circuit.gates
-        num_ops = len(gates)
+        num_ops = len(circuit)
         self.start = num_ops
         self.end = num_ops + 1
-        total = num_ops + 2
+        self._csr: QODGArrays | None = None
+        self._preds: list[list[int]] | None = None
+        self._succs: list[list[int]] | None = None
+        table = circuit.table_if_ready()
+        if table is not None and table.max_operands() <= 2:
+            self._csr = _csr_from_table(table, self.start, self.end)
+        else:
+            self._thread_lists()
+
+    def _thread_lists(self) -> None:
+        """Historical object threading (any gate arity)."""
+        circuit = self._circuit
+        gates = circuit.gates
+        total = self.num_ops + 2
         preds: list[list[int]] = [[] for _ in range(total)]
         succs: list[list[int]] = [[] for _ in range(total)]
         # last_node[q] = node that last touched qubit q (start if none yet).
@@ -136,7 +248,20 @@ class QODG:
                 preds[self.end].append(source)
         self._preds = preds
         self._succs = succs
-        self._csr: QODGArrays | None = None
+
+    def _lists(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Python adjacency lists, materialized from the CSR on demand."""
+        if self._preds is None or self._succs is None:
+            csr = self.csr()
+            self._preds = [
+                csr.predecessors_of(node).tolist()
+                for node in range(self.num_nodes)
+            ]
+            self._succs = [
+                csr.successors_of(node).tolist()
+                for node in range(self.num_nodes)
+            ]
+        return self._preds, self._succs
 
     # -- basic accessors ------------------------------------------------
 
@@ -148,7 +273,7 @@ class QODG:
     @property
     def num_ops(self) -> int:
         """Number of operation nodes (excludes start/end)."""
-        return len(self._circuit.gates)
+        return len(self._circuit)
 
     @property
     def num_nodes(self) -> int:
@@ -158,6 +283,9 @@ class QODG:
     @property
     def num_edges(self) -> int:
         """Total merged edge count."""
+        if self._csr is not None:
+            return int(len(self._csr.succ_indices))
+        assert self._succs is not None
         return sum(len(s) for s in self._succs)
 
     def gate(self, node: int) -> Gate:
@@ -170,17 +298,24 @@ class QODG:
         """
         if not 0 <= node < self.num_ops:
             raise GraphError(f"node {node} is not an operation node")
+        table = self._circuit.table_if_ready()
+        if table is not None:
+            return table.gate(node)
         return self._circuit.gates[node]
 
     def predecessors(self, node: int) -> tuple[int, ...]:
         """Predecessor node ids."""
         self._check_node(node)
-        return tuple(self._preds[node])
+        if self._preds is not None:
+            return tuple(self._preds[node])
+        return tuple(self.csr().predecessors_of(node).tolist())
 
     def successors(self, node: int) -> tuple[int, ...]:
         """Successor node ids."""
         self._check_node(node)
-        return tuple(self._succs[node])
+        if self._succs is not None:
+            return tuple(self._succs[node])
+        return tuple(self.csr().successors_of(node).tolist())
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -199,11 +334,21 @@ class QODG:
     def in_degree(self, node: int) -> int:
         """Number of incoming merged edges."""
         self._check_node(node)
+        if self._csr is not None:
+            return int(
+                self._csr.pred_indptr[node + 1] - self._csr.pred_indptr[node]
+            )
+        assert self._preds is not None
         return len(self._preds[node])
 
     def out_degree(self, node: int) -> int:
         """Number of outgoing merged edges."""
         self._check_node(node)
+        if self._csr is not None:
+            return int(
+                self._csr.succ_indptr[node + 1] - self._csr.succ_indptr[node]
+            )
+        assert self._succs is not None
         return len(self._succs[node])
 
     # -- structure-of-arrays core ------------------------------------------
@@ -211,12 +356,14 @@ class QODG:
     def csr(self) -> QODGArrays:
         """The CSR (structure-of-arrays) view of the graph, built once.
 
-        Row contents preserve the adjacency-list order, so array
-        consumers see predecessors/successors in exactly the order the
-        object API reports them.
+        Table-backed circuits get it straight from the vectorized
+        threading pass; otherwise it is packed from the adjacency lists,
+        preserving their row order, so array consumers see
+        predecessors/successors in exactly the order the object API
+        reports them.
         """
         if self._csr is None:
-            import numpy as np
+            assert self._preds is not None and self._succs is not None
 
             def pack(rows: list[list[int]]):
                 indptr = np.zeros(len(rows) + 1, dtype=np.int64)
@@ -254,13 +401,14 @@ class QODG:
         """Export as a ``networkx.DiGraph`` with ``gate`` node attributes."""
         import networkx as nx
 
+        _, succs = self._lists()
         graph = nx.DiGraph()
         graph.add_node(self.start, role="start")
         graph.add_node(self.end, role="end")
         for node in self.operation_nodes():
             graph.add_node(node, gate=self.gate(node))
         for node in range(self.num_nodes):
-            for succ in self._succs[node]:
+            for succ in succs[node]:
                 graph.add_edge(node, succ)
         return graph
 
@@ -272,5 +420,9 @@ class QODG:
 
 
 def build_qodg(circuit: Circuit) -> QODG:
-    """Build the QODG of a circuit (any gate kinds; typically FT)."""
+    """Build the QODG of a circuit (any gate kinds; typically FT).
+
+    Table-backed circuits of one- and two-qubit gates take the vectorized
+    CSR path; anything else threads Gate objects.
+    """
     return QODG(circuit)

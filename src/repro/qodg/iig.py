@@ -204,6 +204,52 @@ class IIG:
         )
 
 
+def _build_iig_from_table(table, num_qubits: int) -> IIG:
+    """Vectorized IIG construction straight from a flat gate table.
+
+    Two-qubit rows are pair-counted with one ``np.unique`` over encoded
+    directed pairs; the adjacency dicts are then filled edge by edge in
+    **first-interaction order** (recovered from the first-occurrence
+    indices), so the result — including the CSR view's row ordering — is
+    identical to the gate-walking construction.
+    """
+    import numpy as np
+
+    iig = IIG(num_qubits)
+    mask = table.arities() == 2
+    total = int(mask.sum())
+    if not total:
+        return iig
+    # Operands in controls-then-targets order, as the object walk reads.
+    has_ctrl = table.ctrl[mask] >= 0
+    qa = np.where(has_ctrl, table.ctrl[mask], table.target[mask])
+    qb = np.where(has_ctrl, table.target[mask], table.target2[mask])
+    # Directed pairs in chronological order: (a->b, b->a) per gate.
+    u = np.empty(total * 2, dtype=np.int64)
+    v = np.empty(total * 2, dtype=np.int64)
+    u[0::2] = qa
+    u[1::2] = qb
+    v[0::2] = qb
+    v[1::2] = qa
+    keys = u * num_qubits + v
+    unique_keys, first_idx, counts = np.unique(
+        keys, return_index=True, return_counts=True
+    )
+    sources = unique_keys // num_qubits
+    # Per source qubit, neighbours in first-interaction order.
+    order = np.lexsort((first_idx, sources))
+    adjacency = iig._adjacency
+    for src, dst, weight in zip(
+        sources[order].tolist(),
+        (unique_keys % num_qubits)[order].tolist(),
+        counts[order].tolist(),
+    ):
+        adjacency[src][dst] = weight
+    iig._total_weight = total
+    iig._version += 1
+    return iig
+
+
 def build_iig(circuit: Circuit) -> IIG:
     """Build the IIG of a circuit in one pass.
 
@@ -212,7 +258,14 @@ def build_iig(circuit: Circuit) -> IIG:
     level circuits any gate of arity 2 counts (gates of arity >= 3 would be
     decomposed before LEQA runs and are ignored here with their pairwise
     interactions unspecified — pass FT circuits for paper-faithful use).
+
+    Table-backed circuits are pair-counted vectorized (one ``np.unique``
+    over the flat operand columns — edges, not gates, cost Python work);
+    object-built circuits walk their gates as before.
     """
+    table = circuit.table_if_ready()
+    if table is not None:
+        return _build_iig_from_table(table, circuit.num_qubits)
     iig = IIG(circuit.num_qubits)
     # Hot loop: inlined adjacency update (same effect as add_interaction
     # with weight 1, minus per-call validation — operands were validated

@@ -69,8 +69,40 @@ class CompiledOps:
         return len(self.ops)
 
 
+def _compile_ops_from_table(table, num_qubits: int) -> CompiledOps:
+    """Vectorized :func:`compile_ops` over a flat gate table."""
+    from ..circuits.gates import KINDS_BY_CODE
+
+    arities = table.arities()
+    if len(arities) and int(arities.max()) > 2:
+        offender = int(np.argmax(arities > 2))
+        raise GraphError(
+            f"compile_ops supports one- and two-qubit gates only; "
+            f"gate kind {table.gate_kind(offender).value!r} touches "
+            f"{int(arities[offender])} qubits (run FT synthesis first)"
+        )
+    codes = table.kind
+    # Kind table in first-occurrence order (matches the dict-insertion
+    # order of the object path).
+    unique_codes, first_idx = np.unique(codes, return_index=True)
+    by_first = np.argsort(first_idx, kind="stable")
+    unique_codes = unique_codes[by_first]
+    lut = np.zeros(len(KINDS_BY_CODE), dtype=np.int64)
+    lut[unique_codes] = np.arange(len(unique_codes))
+    o0, o1 = table.operand_pairs()
+    ops = tuple(
+        zip(lut[codes].tolist(), o0.tolist(), o1.tolist())
+    )
+    kinds = tuple(KINDS_BY_CODE[code] for code in unique_codes.tolist())
+    return CompiledOps(num_qubits=num_qubits, ops=ops, kinds=kinds)
+
+
 def compile_ops(circuit: Circuit) -> CompiledOps:
     """Lower a circuit to the flat operand/kind table of the batched sweep.
+
+    Table-backed circuits compile vectorized from the flat
+    :class:`~repro.circuits.table.GateTable` columns; object-built ones
+    walk their gates.  Both produce identical compiled tables.
 
     Raises
     ------
@@ -79,6 +111,9 @@ def compile_ops(circuit: Circuit) -> CompiledOps:
         only one the estimator accepts — is all one- and two-qubit
         gates; decompose first).
     """
+    table = circuit.table_if_ready()
+    if table is not None:
+        return _compile_ops_from_table(table, circuit.num_qubits)
     kind_index: dict[GateKind, int] = {}
     kinds: list[GateKind] = []
     ops: list[tuple[int, int, int]] = []
@@ -155,6 +190,79 @@ def sweep_critical_path_lengths(
     return np.max(np.vstack(dist), axis=0)
 
 
+def _sweep_critical_path_table(
+    table, num_qubits: int, kind_table: dict[GateKind, float]
+) -> CriticalPathResult | None:
+    """Table-column twin of :func:`sweep_critical_path`.
+
+    Runs the same recurrence over primitive int rows — no Gate
+    materialization — when every gate kind appears in ``kind_table``
+    with a non-negative delay.  Returns ``None`` when it cannot take the
+    fast path (missing kind, negative delay, arity > 2), so the caller
+    falls back to the object loop and its exact error behaviour.
+    """
+    from ..circuits.gates import KIND_CODES, KINDS_BY_CODE
+
+    if len(table) and table.max_operands() > 2:
+        return None
+    lut = np.full(len(KINDS_BY_CODE), -1.0)
+    for kind, value in kind_table.items():
+        lut[KIND_CODES[kind]] = value
+    delays = lut[table.kind]
+    if delays.size and float(delays.min()) < 0:
+        return None
+    o0, o1 = table.operand_pairs()
+    codes = table.kind.tolist()
+    ops_a = o0.tolist()
+    ops_b = o1.tolist()
+    gate_delays = delays.tolist()
+    qubit_dist = [0.0] * num_qubits
+    qubit_last = [-1] * num_qubits
+    best_pred = [-1] * len(codes)
+    overall_best = 0.0
+    overall_last = -1
+    for index, qubit_a in enumerate(ops_a):
+        best = qubit_dist[qubit_a]
+        pred = qubit_last[qubit_a] if best > 0.0 else -1
+        # Mirror the object loop: `chain > best` starting from 0.0, so a
+        # zero-length chain keeps pred = -1 (the virtual start node).
+        if best <= 0.0:
+            best = 0.0
+            pred = -1
+        qubit_b = ops_b[index]
+        if qubit_b >= 0:
+            chain = qubit_dist[qubit_b]
+            if chain > best:
+                best = chain
+                pred = qubit_last[qubit_b]
+        total = best + gate_delays[index]
+        best_pred[index] = pred
+        qubit_dist[qubit_a] = total
+        qubit_last[qubit_a] = index
+        if qubit_b >= 0:
+            qubit_dist[qubit_b] = total
+            qubit_last[qubit_b] = index
+        if total > overall_best:
+            overall_best = total
+            overall_last = index
+    path: list[int] = []
+    node = overall_last
+    while node != -1:
+        path.append(node)
+        node = best_pred[node]
+    path.reverse()
+    counts: dict[GateKind, int] = {}
+    for node in path:
+        kind = KINDS_BY_CODE[codes[node]]
+        counts[kind] = counts.get(kind, 0) + 1
+    return CriticalPathResult(
+        length=overall_best,
+        node_ids=tuple(path),
+        counts_by_kind=counts,
+        cnot_count=counts.get(GateKind.CNOT, 0),
+    )
+
+
 def sweep_critical_path(
     circuit: Circuit, delay: Callable[[Gate], float]
 ) -> CriticalPathResult:
@@ -163,7 +271,22 @@ def sweep_critical_path(
     Equivalent to building the QODG and running
     :func:`repro.qodg.critical_path.critical_path`, without constructing
     the graph.  See that function for the result contract.
+
+    When ``delay`` is a per-kind table callable (it exposes a
+    ``kind_table`` mapping, as the pipeline's node-delay callables do)
+    and the circuit is table-backed, the recurrence runs over the flat
+    int columns without materializing Gate objects — bitwise-identical
+    result, same IEEE operations in the same order.
     """
+    kind_table = getattr(delay, "kind_table", None)
+    if kind_table is not None:
+        table = circuit.table_if_ready()
+        if table is not None:
+            result = _sweep_critical_path_table(
+                table, circuit.num_qubits, kind_table
+            )
+            if result is not None:
+                return result
     gates = circuit.gates
     num_qubits = circuit.num_qubits
     # Longest chain length ending at each qubit's last gate, and that

@@ -18,6 +18,12 @@ strategy, the schedule under the full parameter fingerprint — so a
 fabric-size sweep compiles the QODG exactly once and repeated points are
 served whole from the cache (the mapper's analogue of the staged LEQA
 pipeline).
+
+Table-backed circuits (the array-native front-end) flow through without
+ever materializing Gate objects: ``is_ft`` checks the flat kind column,
+``compile_qodg`` gathers its operand/delay arrays vectorized from the
+:class:`~repro.circuits.table.GateTable`, and the IIG is pair-counted
+with one ``np.unique`` — only ``record_trace=True`` still touches gates.
 """
 
 from __future__ import annotations

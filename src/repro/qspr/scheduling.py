@@ -165,11 +165,47 @@ class CompiledQODG:
         return len(self.delays)
 
 
+def _compile_qodg_from_table(
+    table, circuit: Circuit, delays: dict[GateKind, float]
+) -> CompiledQODG | None:
+    """Vectorized compile straight from a flat gate table.
+
+    Returns ``None`` when a kind lacks a fabric delay or a gate exceeds
+    two operands, so the caller's object walk raises its exact error.
+    """
+    import numpy as np
+
+    from ..circuits.gates import KIND_CODES, KINDS_BY_CODE
+
+    if len(table) and table.max_operands() > 2:
+        return None
+    lut = np.full(len(KINDS_BY_CODE), np.nan)
+    for kind, value in delays.items():
+        lut[KIND_CODES[kind]] = value
+    base = lut[table.kind]
+    if base.size and np.isnan(base).any():
+        return None
+    cnot_mask = table.kind == KIND_CODES[GateKind.CNOT]
+    q0 = np.where(cnot_mask, table.ctrl, table.target)
+    q1 = np.where(cnot_mask, table.target, -1)
+    return CompiledQODG(
+        num_qubits=circuit.num_qubits,
+        q0=np.ascontiguousarray(q0, dtype=np.int64),
+        q1=np.ascontiguousarray(q1, dtype=np.int64),
+        delays=np.ascontiguousarray(base, dtype=np.float64),
+        fingerprint=circuit.content_fingerprint(),
+        delays_token=delays_table_token(delays),
+    )
+
+
 def compile_qodg(
     circuit: Circuit,
     delays: dict[GateKind, float] | None = None,
 ) -> CompiledQODG:
     """Flatten an FT circuit into :class:`CompiledQODG` arrays.
+
+    Table-backed circuits compile vectorized from the flat gate table;
+    object-built ones walk their gates.  Identical arrays either way.
 
     Raises
     ------
@@ -182,6 +218,11 @@ def compile_qodg(
         from ..fabric.params import GateDelays
 
         delays = GateDelays().by_kind()
+    table = circuit.table_if_ready()
+    if table is not None:
+        compiled = _compile_qodg_from_table(table, circuit, delays)
+        if compiled is not None:
+            return compiled
     cnot = GateKind.CNOT
     # Key the delay table by enum identity: GateKind.__hash__ is a
     # Python-level descriptor and dominates a dict keyed on the enum.

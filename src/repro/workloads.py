@@ -1,0 +1,351 @@
+"""Workload registry: named, parameterized scenario families.
+
+The ROADMAP's scenario-diversity goal needs more than the 19 fixed
+benchmark ids of :mod:`repro.circuits.library`: ensemble studies want
+*families* — "all GF(2^n) multipliers from 8 to 64", "twenty random FT
+circuits at seed 1..20", "the Hamming/QECC coder at every distance
+parameter" — enumerated reproducibly and swept through the execution
+engine with full artifact-cache reuse.
+
+A workload is a named family plus integer parameters with defaults.
+:func:`enumerate_members` expands a family (with optional overrides)
+into **member source strings** that
+:class:`repro.engine.spec.CircuitSpec` recognises:
+
+* plain registered benchmark ids for the ``library`` family, and
+* ``workload:<family>/key=value,...`` strings for generated members,
+  resolved back to circuits by :func:`build_member`.
+
+Member sources are plain strings, so jobs stay hashable and picklable —
+a workload sweep is just a :class:`~repro.engine.runner.BatchRunner`
+grid, and the cache's keyed ``ft`` stage guarantees each member is
+FT-synthesized exactly once however many parameter points it is swept
+over.  The ``leqa workloads`` CLI verb lists, enumerates and runs them.
+
+Every member builder returns a table-backed circuit (the generators
+stream straight into :class:`~repro.circuits.table.GateTable` buffers),
+which is what makes many-circuit ensembles practical: enumerating and
+lowering a 50-member random ensemble costs array appends, not millions
+of Gate objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .circuits.circuit import Circuit
+from .circuits.generators import (
+    gf2_multiplier,
+    hamming_coder,
+    random_ft,
+    random_reversible,
+)
+from .circuits.library import BENCHMARKS
+from .exceptions import EngineError
+
+__all__ = [
+    "WorkloadFamily",
+    "WORKLOADS",
+    "workload_names",
+    "get_workload",
+    "enumerate_members",
+    "build_member",
+    "member_label",
+]
+
+_PREFIX = "workload:"
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One named scenario family.
+
+    Attributes
+    ----------
+    name:
+        Registry id (the CLI argument).
+    summary:
+        One-line description for listings.
+    defaults:
+        Parameter names with their default integer values; overrides
+        must stay within this key set.
+    enumerate:
+        ``params -> tuple of member source strings``.
+    build:
+        ``params -> Circuit`` for one generated member (``None`` for
+        families whose members are registered benchmark ids).
+    """
+
+    name: str
+    summary: str
+    defaults: Mapping[str, int]
+    enumerate: Callable[[dict[str, int]], tuple[str, ...]]
+    build: Callable[[dict[str, int]], Circuit] | None = None
+
+
+def _member_source(family: str, **params: int) -> str:
+    inner = ",".join(f"{key}={value}" for key, value in params.items())
+    return f"{_PREFIX}{family}/{inner}"
+
+
+# -- family definitions ------------------------------------------------------
+
+
+def _library_members(params: dict[str, int]) -> tuple[str, ...]:
+    limit = params["max_paper_ops"]
+    members = []
+    for name, spec in BENCHMARKS.items():
+        if limit and spec.paper_ops is not None and spec.paper_ops > limit:
+            continue
+        members.append(name)
+    return tuple(members)
+
+
+def _gf2_members(params: dict[str, int]) -> tuple[str, ...]:
+    lo, hi, step = params["n_min"], params["n_max"], params["step"]
+    if lo < 1 or hi < lo or step < 1:
+        raise EngineError(
+            f"gf2 workload requires 1 <= n_min <= n_max and step >= 1, "
+            f"got n_min={lo} n_max={hi} step={step}"
+        )
+    return tuple(
+        _member_source("gf2", n=n) for n in range(lo, hi + 1, step)
+    )
+
+
+def _gf2_build(params: dict[str, int]) -> Circuit:
+    return gf2_multiplier(params["n"])
+
+
+def _qecc_members(params: dict[str, int]) -> tuple[str, ...]:
+    lo, hi = params["r_min"], params["r_max"]
+    if lo < 2 or hi < lo:
+        raise EngineError(
+            f"qecc workload requires 2 <= r_min <= r_max, got "
+            f"r_min={lo} r_max={hi}"
+        )
+    return tuple(_member_source("qecc", r=r) for r in range(lo, hi + 1))
+
+
+def _qecc_build(params: dict[str, int]) -> Circuit:
+    return hamming_coder(params["r"])
+
+
+def _random_nct_members(params: dict[str, int]) -> tuple[str, ...]:
+    count = params["count"]
+    if count < 1:
+        raise EngineError(f"count must be >= 1, got {count}")
+    return tuple(
+        _member_source(
+            "random_nct",
+            qubits=params["qubits"],
+            gates=params["gates"],
+            toffoli_pct=params["toffoli_pct"],
+            seed=params["seed0"] + i,
+        )
+        for i in range(count)
+    )
+
+
+def _random_nct_build(params: dict[str, int]) -> Circuit:
+    return random_reversible(
+        params["qubits"],
+        params["gates"],
+        seed=params["seed"],
+        toffoli_fraction=params["toffoli_pct"] / 100.0,
+    )
+
+
+def _random_ft_members(params: dict[str, int]) -> tuple[str, ...]:
+    count = params["count"]
+    if count < 1:
+        raise EngineError(f"count must be >= 1, got {count}")
+    return tuple(
+        _member_source(
+            "random_ft",
+            qubits=params["qubits"],
+            gates=params["gates"],
+            cnot_pct=params["cnot_pct"],
+            seed=params["seed0"] + i,
+        )
+        for i in range(count)
+    )
+
+
+def _random_ft_build(params: dict[str, int]) -> Circuit:
+    return random_ft(
+        params["qubits"],
+        params["gates"],
+        seed=params["seed"],
+        cnot_fraction=params["cnot_pct"] / 100.0,
+    )
+
+
+#: All registered workload families, keyed by name.
+WORKLOADS: dict[str, WorkloadFamily] = {
+    family.name: family
+    for family in (
+        WorkloadFamily(
+            name="library",
+            summary="registered paper benchmarks (Table 3 families)",
+            defaults={"max_paper_ops": 40000},
+            enumerate=_library_members,
+        ),
+        WorkloadFamily(
+            name="gf2",
+            summary="GF(2^n) Mastrovito multipliers over an n range",
+            defaults={"n_min": 4, "n_max": 16, "step": 4},
+            enumerate=_gf2_members,
+            build=_gf2_build,
+        ),
+        WorkloadFamily(
+            name="qecc",
+            summary="Hamming(2^r-1) encoder/corrector distance family",
+            defaults={"r_min": 2, "r_max": 5},
+            enumerate=_qecc_members,
+            build=_qecc_build,
+        ),
+        WorkloadFamily(
+            name="random_nct",
+            summary="seeded random NOT/CNOT/Toffoli ensembles",
+            defaults={
+                "qubits": 8,
+                "gates": 200,
+                "toffoli_pct": 30,
+                "seed0": 1,
+                "count": 5,
+            },
+            enumerate=_random_nct_members,
+            build=_random_nct_build,
+        ),
+        WorkloadFamily(
+            name="random_ft",
+            summary="seeded random circuits straight in the FT gate set",
+            defaults={
+                "qubits": 12,
+                "gates": 400,
+                "cnot_pct": 40,
+                "seed0": 1,
+                "count": 5,
+            },
+            enumerate=_random_ft_members,
+            build=_random_ft_build,
+        ),
+    )
+}
+
+
+# -- registry access ---------------------------------------------------------
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload family names."""
+    return tuple(WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadFamily:
+    """Look up a family by name.
+
+    Raises
+    ------
+    EngineError
+        If the name is not registered.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(WORKLOADS)
+        raise EngineError(
+            f"unknown workload {name!r}; known workloads: {known}"
+        ) from None
+
+
+def _merged_params(
+    family: WorkloadFamily, overrides: Mapping[str, int]
+) -> dict[str, int]:
+    unknown = set(overrides) - set(family.defaults)
+    if unknown:
+        known = ", ".join(family.defaults)
+        raise EngineError(
+            f"unknown parameter(s) {sorted(unknown)} for workload "
+            f"{family.name!r}; parameters: {known}"
+        )
+    merged = dict(family.defaults)
+    for key, value in overrides.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise EngineError(
+                f"workload parameters are integers; got {key}={value!r}"
+            )
+        merged[key] = value
+    return merged
+
+
+def enumerate_members(name: str, **overrides: int) -> tuple[str, ...]:
+    """Expand a family (with parameter overrides) into member sources.
+
+    Every returned string is a valid
+    :class:`~repro.engine.spec.CircuitSpec` source: either a registered
+    benchmark id or a ``workload:...`` member string.
+    """
+    family = get_workload(name)
+    return family.enumerate(_merged_params(family, overrides))
+
+
+def _parse_member(source: str) -> tuple[WorkloadFamily, dict[str, int]]:
+    body = source[len(_PREFIX) :]
+    family_name, _, param_text = body.partition("/")
+    family = get_workload(family_name)
+    if family.build is None:
+        raise EngineError(
+            f"workload {family_name!r} has no generated members; its "
+            "members are registered benchmark ids"
+        )
+    params: dict[str, int] = {}
+    for item in filter(None, param_text.split(",")):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise EngineError(
+                f"malformed workload member {source!r}: expected key=value, "
+                f"got {item!r}"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise EngineError(
+                f"malformed workload member {source!r}: {key!r} is not an "
+                "integer"
+            ) from None
+    return family, params
+
+
+def build_member(source: str) -> Circuit:
+    """Build the circuit named by one ``workload:...`` member source.
+
+    Raises
+    ------
+    EngineError
+        For unknown families or malformed parameter strings.
+    """
+    if not source.startswith(_PREFIX):
+        raise EngineError(
+            f"not a workload member source: {source!r} (expected the "
+            f"{_PREFIX!r} prefix)"
+        )
+    family, params = _parse_member(source)
+    assert family.build is not None
+    try:
+        return family.build(params)
+    except KeyError as missing:
+        raise EngineError(
+            f"workload member {source!r} is missing parameter {missing}"
+        ) from None
+
+
+def member_label(source: str) -> str:
+    """Short human-readable label of a member source (for tables/tags)."""
+    if not source.startswith(_PREFIX):
+        return source
+    family, params = _parse_member(source)
+    inner = ",".join(f"{k}={v}" for k, v in params.items())
+    return f"{family.name}({inner})"

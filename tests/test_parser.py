@@ -120,6 +120,24 @@ class TestReadRealErrors:
         else:  # pragma: no cover
             pytest.fail("expected ParseError")
 
+    def test_gate_construction_error_carries_line_number(self):
+        # Repeated operands fail gate validation (a CircuitError inside
+        # the parser) — the report must still carry the offending line.
+        text = ".numvars 2\n.variables a b\n.begin\nt2 a b\nt2 a a\n.end\n"
+        with pytest.raises(ParseError, match="line 5.*distinct"):
+            reads_real(text)
+
+    def test_trailing_blank_and_comment_lines_accepted(self):
+        text = (
+            ".numvars 1\n.variables a\n.begin\nt1 a\n.end\n"
+            "\n   \n# trailing comment\n  # another\n\n"
+        )
+        assert len(reads_real(text)) == 1
+
+    def test_comment_after_end_directive_accepted(self):
+        text = ".numvars 1\n.variables a\n.begin\nt1 a\n.end # done\n"
+        assert len(reads_real(text)) == 1
+
 
 class TestWriteReal:
     def test_roundtrip_preserves_structure(self):
@@ -186,7 +204,25 @@ class TestQasmLite:
         ("h q0\n", "unknown qubit"),
         ("qubits 1\nzz q0\n", "unknown gate"),
         ("qubit a\nqubit a\n", "duplicate"),
+        ("qubits 2\ncnot q0 q0\n", "distinct"),
+        ("qubits 2\nh q0 q1\n", "requires 0 controls and 1 targets"),
     ])
     def test_malformed_inputs_raise(self, text, match):
         with pytest.raises(ParseError, match=match):
             reads_qasm_lite(text)
+
+    def test_gate_error_carries_line_number(self):
+        try:
+            reads_qasm_lite("qubits 2\ncnot q0 q1\ncnot q1 q1\n")
+        except ParseError as error:
+            assert error.line_number == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_trailing_blank_and_comment_lines_accepted(self):
+        text = "qubits 2\ncnot q0 q1\n\n# done\n   \n"
+        assert len(reads_qasm_lite(text)) == 1
+
+    def test_parsed_circuits_are_table_backed(self):
+        circuit = reads_qasm_lite("qubits 2\ncnot q0 q1\nh q0\n")
+        assert circuit.table_if_ready() is not None

@@ -1,0 +1,150 @@
+"""Unit tests for the workload registry (repro.workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.gates import GateKind
+from repro.engine import BatchRunner, CircuitSpec
+from repro.engine.runner import sweep_workload
+from repro.exceptions import EngineError
+from repro.workloads import (
+    WORKLOADS,
+    build_member,
+    enumerate_members,
+    get_workload,
+    member_label,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_families_registered(self):
+        assert set(workload_names()) == {
+            "library",
+            "gf2",
+            "qecc",
+            "random_nct",
+            "random_ft",
+        }
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(EngineError, match="unknown workload"):
+            get_workload("nope")
+
+    def test_every_family_enumerates_under_defaults(self):
+        for name, family in WORKLOADS.items():
+            members = enumerate_members(name)
+            assert members, name
+            assert len(set(members)) == len(members), name
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(EngineError, match="unknown parameter"):
+            enumerate_members("gf2", bogus=3)
+
+    def test_non_integer_override_rejected(self):
+        with pytest.raises(EngineError, match="integers"):
+            enumerate_members("gf2", n_max="big")
+
+
+class TestEnumeration:
+    def test_gf2_range(self):
+        members = enumerate_members("gf2", n_min=4, n_max=8, step=2)
+        assert members == (
+            "workload:gf2/n=4",
+            "workload:gf2/n=6",
+            "workload:gf2/n=8",
+        )
+
+    def test_gf2_invalid_range_rejected(self):
+        with pytest.raises(EngineError, match="n_min <= n_max"):
+            enumerate_members("gf2", n_min=9, n_max=4)
+
+    def test_library_members_are_registered_names(self):
+        from repro.circuits.library import BENCHMARKS
+
+        for member in enumerate_members("library"):
+            assert member in BENCHMARKS
+
+    def test_library_paper_ops_filter(self):
+        small = enumerate_members("library", max_paper_ops=1000)
+        everything = enumerate_members("library", max_paper_ops=0)
+        assert set(small) < set(everything)
+
+    def test_random_family_distinct_seeds(self):
+        members = enumerate_members("random_ft", count=3, seed0=7)
+        assert len(members) == 3
+        assert "seed=7" in members[0] and "seed=9" in members[2]
+
+
+class TestMembers:
+    def test_build_member_gf2(self):
+        circuit = build_member("workload:gf2/n=6")
+        assert circuit.name == "gf2^6mult"
+        assert circuit.num_qubits == 18
+
+    def test_build_member_random_ft_is_ft_and_deterministic(self):
+        source = "workload:random_ft/qubits=6,gates=50,cnot_pct=40,seed=3"
+        one, two = build_member(source), build_member(source)
+        assert one.is_ft()
+        assert list(one.gates) == list(two.gates)
+
+    def test_build_member_rejects_bad_strings(self):
+        with pytest.raises(EngineError, match="prefix"):
+            build_member("gf2/n=6")
+        with pytest.raises(EngineError, match="unknown workload"):
+            build_member("workload:nope/n=6")
+        with pytest.raises(EngineError, match="not an integer"):
+            build_member("workload:gf2/n=six")
+        with pytest.raises(EngineError, match="key=value"):
+            build_member("workload:gf2/n")
+        with pytest.raises(EngineError, match="missing parameter"):
+            build_member("workload:gf2/")
+
+    def test_library_members_have_no_generated_builder(self):
+        with pytest.raises(EngineError, match="registered benchmark ids"):
+            build_member("workload:library/x=1")
+
+    def test_member_label(self):
+        assert member_label("workload:gf2/n=8") == "gf2(n=8)"
+        assert member_label("ham3") == "ham3"
+
+    def test_spec_round_trip(self):
+        spec = CircuitSpec("workload:qecc/r=3", ft=False)
+        circuit = spec.load()
+        assert circuit.count_kind(GateKind.MCT) > 0
+
+
+class TestSweep:
+    def test_sweep_workload_tags_and_order(self):
+        results = sweep_workload("gf2", overrides={"n_min": 4, "n_max": 6, "step": 2})
+        assert [p.job.tag for p in results] == ["gf2(n=4)", "gf2(n=6)"]
+        assert all(p.ok for p in results)
+
+    def test_sweep_workload_multi_point_tags_distinct(self):
+        from repro.fabric.params import DEFAULT_PARAMS
+
+        grid = [DEFAULT_PARAMS.with_fabric(s, s) for s in (40, 60)]
+        results = sweep_workload(
+            "gf2",
+            overrides={"n_min": 4, "n_max": 4, "step": 1},
+            params_grid=grid,
+        )
+        tags = [p.job.tag for p in results]
+        assert tags == ["gf2(n=4) @0:40x40", "gf2(n=4) @1:60x60"]
+        assert len(set(tags)) == len(tags)
+
+    def test_sweep_workload_empty_grid_rejected(self):
+        with pytest.raises(EngineError, match="at least one point"):
+            sweep_workload("gf2", params_grid=[])
+
+    def test_sweep_workload_custom_runner_shares_cache(self):
+        runner = BatchRunner(workers=1)
+        sweep_workload(
+            "random_ft",
+            overrides={"count": 2, "qubits": 5, "gates": 30},
+            runner=runner,
+        )
+        # random_ft members are already FT: the ft stage passes them
+        # through, but still records one build per member.
+        assert runner.cache.stats().miss_count("ft") == 2
