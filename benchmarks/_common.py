@@ -112,6 +112,7 @@ def sweep_points(
 #: benches so future PRs can detect perf regressions against them.
 MAPPER_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_mapper.json"
 FRONTEND_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_frontend.json"
+STORE_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_store.json"
 
 
 def _load_trajectory(path: Path) -> dict:
@@ -182,3 +183,17 @@ def record_frontend_trajectory(
 def recorded_frontend_speedup(key: str) -> float | None:
     """The front-end baseline speedup recorded for one configuration."""
     return _recorded_speedup(FRONTEND_TRAJECTORY_PATH, key)
+
+
+def record_store_trajectory(
+    key: str, benchmark: str, wall_seconds: float, speedup: float
+) -> None:
+    """Merge one warm-store measurement into ``BENCH_store.json``."""
+    _record_trajectory(
+        STORE_TRAJECTORY_PATH, key, benchmark, wall_seconds, speedup
+    )
+
+
+def recorded_store_speedup(key: str) -> float | None:
+    """The warm-store baseline speedup recorded for one configuration."""
+    return _recorded_speedup(STORE_TRAJECTORY_PATH, key)

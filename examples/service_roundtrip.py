@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Service round trip: a daemon, coalescing clients and a warm store.
+
+Starts an in-process estimation daemon (`leqa serve` minus the shell),
+points it at a persistent artifact store, then plays three clients
+against it:
+
+1. eight *identical* requests submitted concurrently — the queue
+   coalesces them onto one job, so the backend runs once;
+2. a higher-priority request that jumps the queue;
+3. a second daemon "restart" over the same store, showing the warm
+   start: the repeated request is served from disk artifacts.
+
+Run:  python examples/service_roundtrip.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.service import EstimationServer, ServiceClient
+
+
+def run_daemon(socket_path: Path, store_dir: Path) -> tuple:
+    """Start a daemon thread; returns (server, thread, ready client)."""
+    from repro.store import ArtifactStore
+
+    server = EstimationServer(
+        socket_path, workers=2, store=ArtifactStore(store_dir)
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(socket_path, timeout=120)
+    client.ping()
+    return server, thread, client
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="leqa-service-"))
+    store_dir = workdir / "store"
+    spec = {"source": "gf2^16mult", "params": {"width": 60, "height": 60}}
+
+    # --- first daemon lifetime: cold store --------------------------------
+    server, thread, client = run_daemon(workdir / "leqa-a.sock", store_dir)
+
+    # 1. Eight identical submissions race in; the queue coalesces them.
+    job_ids: list[str] = []
+    submitters = [
+        threading.Thread(target=lambda: job_ids.append(client.submit(spec)))
+        for _ in range(8)
+    ]
+    for submitter in submitters:
+        submitter.start()
+    for submitter in submitters:
+        submitter.join()
+    print(f"8 identical submits -> job ids {sorted(set(job_ids))}")
+
+    # 2. A priority request (different fabric) jumps ahead of FIFO order.
+    urgent = client.submit(
+        {"source": "gf2^16mult", "params": {"width": 40, "height": 40}},
+        priority=10,
+    )
+    first = client.result(job_ids[0], timeout=300)
+    rushed = client.result(urgent, timeout=300)
+    print(
+        f"coalesced job: {first['submits']} submits, one computation, "
+        f"latency {first['result']['latency_seconds']:.4f} s "
+        f"({first['result']['elapsed_seconds'] * 1000:.1f} ms of backend)"
+    )
+    print(
+        f"priority job:  latency {rushed['result']['latency_seconds']:.4f} s"
+    )
+    stats = client.stats()
+    print(
+        f"daemon stats:  {stats['jobs']['done']} done, "
+        f"{stats['coalesced']} coalesced, "
+        f"store writes {stats['store']['writes']}"
+    )
+    client.shutdown()
+    thread.join(timeout=10)
+
+    # --- second daemon lifetime: warm store -------------------------------
+    server, thread, client = run_daemon(workdir / "leqa-b.sock", store_dir)
+    job = client.submit(spec)
+    warm = client.result(job, timeout=300)
+    stats = client.stats()
+    print(
+        f"\nrestarted daemon, same store: latency "
+        f"{warm['result']['latency_seconds']:.4f} s in "
+        f"{warm['result']['elapsed_seconds'] * 1000:.1f} ms of backend "
+        f"(store hits {stats['store']['hits']})"
+    )
+    same = warm["result"]["latency"] == first["result"]["latency"]
+    print(f"warm result bitwise-identical to cold: {same}")
+    client.shutdown()
+    thread.join(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -72,9 +72,12 @@ from .exceptions import (
     ParseError,
     ReproError,
 )
+from .exceptions import ServiceError, StoreError
 from .fabric import DEFAULT_PARAMS, FabricSpec, GateDelays, PhysicalParams, TQA
 from .qodg import IIG, QODG, build_iig, build_qodg, critical_path
 from .qspr import MappingResult, QSPRMapper, map_circuit
+from .service import EstimationServer, JobQueue, ServiceClient
+from .store import ArtifactStore
 
 __version__ = "1.0.0"
 
@@ -133,5 +136,11 @@ __all__ = [
     "MappingResult",
     "QSPRMapper",
     "map_circuit",
+    "ArtifactStore",
+    "StoreError",
+    "EstimationServer",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceError",
     "__version__",
 ]

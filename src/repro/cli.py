@@ -29,6 +29,19 @@ Subcommands
     ``--run`` — sweep every member through the engine: each member's FT
     netlist is lowered exactly once via the cache's keyed ``ft`` stage.
 
+``serve`` / ``submit`` / ``status`` / ``result``
+    The estimation service (:mod:`repro.service`): ``serve`` runs a
+    daemon over a local UNIX socket with a persistent worker pool, one
+    warm artifact cache and (with ``--store``) a persistent on-disk
+    artifact store; the client verbs submit requests (identical
+    in-flight requests coalesce to one computation), query job state
+    and fetch results.  ``status`` without a job id reports the
+    daemon's queue/cache/store stats.
+
+Sweeps accept ``--store DIR`` to back the engine cache with a
+persistent :class:`~repro.store.ArtifactStore` (warm across processes)
+and ``--json`` for machine-readable output.
+
 Netlist files are recognised by extension: ``.real`` (RevLib subset) or
 anything else as qasm-lite.  Non-FT circuits are passed through the
 paper's FT synthesis flow automatically.
@@ -37,6 +50,7 @@ paper's FT synthesis flow automatically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -246,6 +260,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "placement / schedule) for backends that report them"
         ),
     )
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        help=(
+            "back the artifact cache with a persistent on-disk store at "
+            "DIR: misses fall through memory -> disk -> build, so "
+            "repeated sweeps are warm across processes"
+        ),
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit one machine-readable JSON document (points, wall "
+            "time, cache stats) instead of the human tables"
+        ),
+    )
 
     heatmap = subparsers.add_parser(
         "heatmap", help="render fabric heatmaps (coverage / mapper activity)"
@@ -302,7 +333,116 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=1,
         help="parallel workers for --run (0/1 = serial; default 1)",
     )
+    workloads.add_argument(
+        "--store",
+        metavar="DIR",
+        help="back the --run cache with a persistent artifact store at DIR",
+    )
     _add_param_options(workloads)
+
+    def add_socket_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--socket",
+            default="leqa-serve.sock",
+            help="daemon socket path (default: ./leqa-serve.sock)",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the estimation service daemon on a local socket",
+        description=(
+            "Run a long-lived estimation daemon: a persistent worker "
+            "pool over one warm artifact cache (optionally backed by a "
+            "persistent on-disk store), serving submit/status/result/"
+            "stats requests over a local UNIX socket.  Identical "
+            "in-flight requests coalesce to a single computation."
+        ),
+    )
+    add_socket_option(serve)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persistent artifact store directory shared across restarts",
+    )
+    serve.add_argument(
+        "--max-entries",
+        type=int,
+        default=4096,
+        help=(
+            "LRU cap of the in-memory cache tier (default 4096; keeps "
+            "a long-lived daemon's footprint bounded)"
+        ),
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one request to a running daemon"
+    )
+    submit.add_argument(
+        "circuit",
+        help=(
+            "benchmark name, workload member or netlist path to evaluate"
+        ),
+    )
+    submit.add_argument(
+        "--backend",
+        default="leqa",
+        choices=backend_names(),
+        help="registered engine backend (default: leqa)",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority (higher runs first; default 0)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    add_socket_option(submit)
+    _add_param_options(submit)
+
+    status = subparsers.add_parser(
+        "status",
+        help="query a job's state (or, without a job id, daemon stats)",
+    )
+    status.add_argument(
+        "job_id", nargs="?",
+        help="job id from 'leqa submit' (omit for daemon stats)",
+    )
+    status.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    add_socket_option(status)
+
+    result = subparsers.add_parser(
+        "result", help="wait for a job and print its result"
+    )
+    result.add_argument("job_id", help="job id from 'leqa submit'")
+    result.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait (default 600)",
+    )
+    result.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    add_socket_option(result)
     return parser
 
 
@@ -412,6 +552,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_from_args(args: argparse.Namespace) -> "object | None":
+    """The persistent artifact store named by ``--store``, if any."""
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from .store import ArtifactStore
+
+    return ArtifactStore(path)
+
+
+def _store_stats_payload(store: "object | None") -> dict | None:
+    if store is None:
+        return None
+    return {"root": str(store.root), **store.stats().as_dict()}
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         sizes = [int(token) for token in args.sizes.split(",") if token]
@@ -421,7 +577,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ) from None
     if not sizes:
         raise ReproError("--sizes must name at least one fabric size")
-    runner = BatchRunner(workers=args.workers, executor=args.executor)
+    runner = BatchRunner(
+        workers=args.workers,
+        executor=args.executor,
+        store=_store_from_args(args),
+    )
     started = time.perf_counter()
     results = sweep_fabric_sizes(
         args.circuit,
@@ -431,14 +591,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         runner=runner,
     )
     wall = time.perf_counter() - started
+    # workers <= 1 degrades to the serial path, which shares the runner's
+    # cache even under --executor process; only a real pool hides stats.
+    hidden = args.executor == "process" and args.workers > 1
+    failures = sum(1 for point in results if not point.ok)
+    if args.json:
+        document = {
+            "circuit": args.circuit,
+            "backend": args.backend,
+            "executor": args.executor,
+            "wall_seconds": wall,
+            "points": [
+                {
+                    "tag": point.job.tag,
+                    "ok": point.ok,
+                    "latency_seconds": (
+                        point.result.latency_seconds if point.ok else None
+                    ),
+                    "elapsed_seconds": (
+                        point.result.elapsed_seconds if point.ok else None
+                    ),
+                    "error": point.error,
+                }
+                for point in results
+            ],
+            # A real process pool keeps per-worker caches (and per-worker
+            # store handles): this process's counters would misreport the
+            # sweep, so both payloads are null there.
+            "cache_stats": (
+                None if hidden else runner.cache.stats().as_dict()
+            ),
+            "store": (
+                None if hidden else _store_stats_payload(runner.cache.store)
+            ),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if failures else 0
     print(f"circuit            {args.circuit}")
     print(f"backend            {args.backend}")
     print(f"{'fabric':<10} {'latency (s)':<14} {'backend time (s)':<16}")
     print("-" * 41)
-    failures = 0
     for point in results:
         if not point.ok:
-            failures += 1
             print(f"{point.job.tag:<10} error: {point.error}")
             continue
         result = point.result
@@ -476,9 +670,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "\nprofile            backend reports no per-stage times "
                 f"({args.backend})"
             )
-    # workers <= 1 degrades to the serial path, which shares the runner's
-    # cache even under --executor process; only a real pool hides stats.
-    hidden = args.executor == "process" and args.workers > 1
     if hidden:
         print("cache reuse        per-worker caches (process executor)")
         if args.cache_stats:
@@ -497,12 +688,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache_stats:
         from .engine.cache import STAGE_NAMES
 
-        print(f"\n{'stage':<10} {'hits':>6} {'misses':>8}")
-        print("-" * 26)
+        print(
+            f"\n{'stage':<10} {'hits':>6} {'misses':>8} "
+            f"{'store':>7} {'evicted':>9}"
+        )
+        print("-" * 44)
         for stage in STAGE_NAMES:
             print(
                 f"{stage:<10} {stats.hit_count(stage):>6} "
-                f"{stats.miss_count(stage):>8}"
+                f"{stats.miss_count(stage):>8} "
+                f"{stats.store_hit_count(stage):>7} "
+                f"{stats.eviction_count(stage):>9}"
             )
     return 1 if failures else 0
 
@@ -583,7 +779,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
         for member in members:
             print(member)
         return 0
-    runner = BatchRunner(workers=args.workers)
+    runner = BatchRunner(workers=args.workers, store=_store_from_args(args))
     started = time.perf_counter()
     results = sweep_workload(
         args.family,
@@ -617,6 +813,124 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _print_job_snapshot(snapshot: dict) -> None:
+    """Human-readable rendering of one job record."""
+    print(f"job                {snapshot['id']}")
+    print(f"state              {snapshot['state']}")
+    print(f"source             {snapshot['spec']['source']}")
+    print(f"backend            {snapshot['spec']['backend']}")
+    print(f"submits            {snapshot['submits']}")
+    result = snapshot.get("result")
+    if result is not None:
+        print(
+            "latency            "
+            f"{format_scientific(result['latency_seconds'])} s"
+        )
+        print(f"backend time       {result['elapsed_seconds']:.3f} s")
+    if snapshot.get("error"):
+        print(f"error              {snapshot['error']}")
+
+
+def _service_client(args: argparse.Namespace, timeout: float = 60.0):
+    from .service import ServiceClient
+
+    return ServiceClient(args.socket, timeout=timeout)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import EstimationServer
+
+    server = EstimationServer(
+        args.socket,
+        workers=args.workers,
+        store=_store_from_args(args),
+        max_entries=args.max_entries,
+    )
+    store_note = f", store {args.store}" if args.store else ""
+    print(
+        f"leqa serve: listening on {server.socket_path} "
+        f"({args.workers} workers{store_note}); "
+        "submit with 'leqa submit', stop with a 'shutdown' request"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args, timeout=args.timeout + 30.0)
+    spec = {
+        "source": args.circuit,
+        "backend": args.backend,
+        "params": {
+            "width": args.width,
+            "height": args.height,
+            "channel_capacity": args.channel_capacity,
+            "qubit_speed": args.speed,
+            "t_move": args.t_move,
+        },
+    }
+    job_id = client.submit(spec, priority=args.priority)
+    if not args.wait:
+        if args.json:
+            print(json.dumps({"job_id": job_id}))
+        else:
+            print(job_id)
+        return 0
+    snapshot = client.result(job_id, timeout=args.timeout)
+    snapshot.pop("ok", None)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        _print_job_snapshot(snapshot)
+    return 0 if snapshot["state"] == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.job_id is None:
+        stats = client.stats()
+        stats.pop("ok", None)
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        jobs = stats["jobs"]
+        print(f"workers            {stats['workers']}")
+        print(f"queue depth        {stats['queue_depth']}")
+        print(f"coalesced          {stats['coalesced']}")
+        states = ", ".join(f"{k}={v}" for k, v in jobs.items())
+        print(f"jobs               {states}")
+        if "store" in stats:
+            store = stats["store"]
+            print(
+                f"store              {store['root']} "
+                f"(hits {store['hits']}, writes {store['writes']})"
+            )
+        return 0
+    snapshot = client.status(args.job_id)
+    snapshot.pop("ok", None)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        _print_job_snapshot(snapshot)
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    client = _service_client(args, timeout=args.timeout + 30.0)
+    snapshot = client.result(args.job_id, timeout=args.timeout)
+    snapshot.pop("ok", None)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        _print_job_snapshot(snapshot)
+        if snapshot["state"] == "failed" and snapshot.get("traceback"):
+            print(f"\n{snapshot['traceback']}")
+    return 0 if snapshot["state"] == "done" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_arg_parser()
@@ -629,6 +943,10 @@ def main(argv: list[str] | None = None) -> int:
         "heatmap": _cmd_heatmap,
         "benchmarks": _cmd_benchmarks,
         "workloads": _cmd_workloads,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "result": _cmd_result,
     }
     try:
         return handlers[args.command](args)

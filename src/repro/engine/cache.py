@@ -23,6 +23,7 @@ stage          key
 ``qodg``       content hash + gate-delay table
 ``placement``  content hash + strategy/seed + fabric geometry
 ``schedule``   content hash + full parameter fingerprint + mapper options
+``estimate``   content hash + estimator options + parameter fingerprint
 =============  ======================================================
 
 so a fabric-size sweep reuses the netlist, IIG and zones across every
@@ -44,11 +45,28 @@ only downstream parameters (say, gate delays) therefore skips every
 upstream stage; those entries are reached through the generic
 :meth:`ArtifactCache.stage` accessor.
 
+The ``estimate`` stage memoizes whole
+:class:`~repro.core.estimator.LatencyEstimate` records under the circuit
+content plus the full parameter/option fingerprint — the terminal
+artifact of the LEQA path, which makes a repeated sweep point a pure
+lookup.
+
 The cache is thread-safe and build-once under concurrency: per-key locks
 guarantee a stage is computed by exactly one thread while others wait for
-the value (the property the engine benchmark asserts).  Worker
-*processes* each hold their own cache — content hashing keeps them
-consistent, not shared.
+the value (the property the engine benchmark asserts).
+
+Two optional tiers extend the in-memory dict:
+
+* ``max_entries`` bounds the memory tier with LRU eviction (hits refresh
+  recency), so long-lived servers don't grow without limit; evictions
+  are counted per stage in :meth:`ArtifactCache.stats`.
+* ``store`` attaches a persistent
+  :class:`~repro.store.ArtifactStore` tier: misses fall through
+  memory → disk → build, builds are serialized across *processes* by the
+  store's advisory file locks, and every artifact the store's codec
+  supports is published for the next process.  Without a store, worker
+  processes each hold their own cache — content hashing keeps them
+  consistent, not shared.
 """
 
 from __future__ import annotations
@@ -89,6 +107,7 @@ _STAGES = (
     "qodg",
     "placement",
     "schedule",
+    "estimate",
 )
 
 #: Public alias of the stage-name tuple (CLI stats tables and tests).
@@ -120,29 +139,111 @@ def params_fingerprint(params: PhysicalParams) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters per stage (a *miss* performed the build)."""
+    """Per-stage counters of one cache's activity.
+
+    A *hit* was served from the memory tier, a *store hit* from the
+    attached persistent store, and a *miss* ran the builder in this
+    process (the store may still have published another process's build
+    concurrently — the store's own stats disambiguate).  *Evictions*
+    count memory-tier entries dropped by the ``max_entries`` LRU cap.
+    """
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
+    store_hits: dict[str, int] = field(default_factory=dict)
+    evictions: dict[str, int] = field(default_factory=dict)
 
     def hit_count(self, stage: str) -> int:
-        """Number of lookups served from the cache for one stage."""
+        """Number of lookups served from the memory tier for one stage."""
         return self.hits.get(stage, 0)
 
     def miss_count(self, stage: str) -> int:
         """Number of lookups that had to build the artifact for one stage."""
         return self.misses.get(stage, 0)
 
+    def store_hit_count(self, stage: str) -> int:
+        """Number of lookups served from the persistent store tier."""
+        return self.store_hits.get(stage, 0)
+
+    def eviction_count(self, stage: str) -> int:
+        """Number of memory-tier entries evicted by the LRU cap."""
+        return self.evictions.get(stage, 0)
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Machine-readable form (the CLI's ``--json`` payload)."""
+        return {
+            stage: {
+                "hits": self.hit_count(stage),
+                "misses": self.miss_count(stage),
+                "store_hits": self.store_hit_count(stage),
+                "evictions": self.eviction_count(stage),
+            }
+            for stage in _STAGES
+        }
+
 
 class ArtifactCache:
-    """Build-once store for the engine's staged pipeline artifacts."""
+    """Build-once store for the engine's staged pipeline artifacts.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_entries:
+        Optional cap on the in-memory tier.  When set, inserting beyond
+        the cap evicts the least-recently-used entries (hits refresh
+        recency); evicted artifacts rebuild — or reload from the store
+        tier — on their next lookup.
+    store:
+        Optional persistent :class:`~repro.store.ArtifactStore`.  Misses
+        fall through memory → disk → build; artifacts the store codec
+        supports are published after a build, so later *processes*
+        warm-start from them.
+    """
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        store: "object | None" = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            from ..exceptions import EngineError
+
+            raise EngineError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
         self._lock = threading.RLock()
         self._key_locks: dict[tuple[str, Hashable], threading.Lock] = {}
         self._store: dict[tuple[str, Hashable], object] = {}
+        self._max_entries = max_entries
+        self._disk = store
         self._hits: dict[str, int] = dict.fromkeys(_STAGES, 0)
         self._misses: dict[str, int] = dict.fromkeys(_STAGES, 0)
+        self._store_hits: dict[str, int] = dict.fromkeys(_STAGES, 0)
+        self._evictions: dict[str, int] = dict.fromkeys(_STAGES, 0)
+
+    @property
+    def store(self) -> "object | None":
+        """The persistent store tier (``None`` when memory-only)."""
+        return self._disk
+
+    def _insert(self, slot: tuple[str, Hashable], value: object) -> None:
+        """Insert into the memory tier, evicting LRU entries past the cap.
+
+        Must run under ``self._lock``.  The dict's insertion order is the
+        recency order: hits re-insert their slot at the back, so the
+        front is always the least recently used.
+        """
+        self._store[slot] = value
+        if self._max_entries is None:
+            return
+        while len(self._store) > self._max_entries:
+            victim = next(iter(self._store))
+            del self._store[victim]
+            # Dropping the victim's key lock keeps the lock table bounded
+            # too; a builder currently holding it simply finishes and
+            # re-inserts (correctness is unaffected — the next lookup
+            # takes a fresh lock).
+            self._key_locks.pop(victim, None)
+            self._evictions[victim[0]] += 1
 
     def _get_or_build(
         self, stage: str, key: Hashable, builder: Callable[[], _T]
@@ -151,7 +252,9 @@ class ArtifactCache:
 
         The build runs under a per-key lock so concurrent threads asking
         for the same artifact wait for the single build instead of
-        duplicating it; distinct keys build concurrently.
+        duplicating it; distinct keys build concurrently.  With a store
+        attached, the build additionally runs under the store's per-key
+        advisory *file* lock, extending build-once across processes.
         """
         slot = (stage, key)
         with self._lock:
@@ -160,10 +263,25 @@ class ArtifactCache:
             with self._lock:
                 if slot in self._store:
                     self._hits[stage] += 1
-                    return self._store[slot]  # type: ignore[return-value]
+                    value = self._store[slot]
+                    if self._max_entries is not None:
+                        del self._store[slot]  # refresh LRU recency
+                        self._store[slot] = value
+                    return value  # type: ignore[return-value]
+            if self._disk is not None:
+                value, from_store = self._disk.fetch_or_build(
+                    stage, key, builder
+                )
+                with self._lock:
+                    self._insert(slot, value)
+                    if from_store:
+                        self._store_hits[stage] += 1
+                    else:
+                        self._misses[stage] += 1
+                return value  # type: ignore[return-value]
             value = builder()
             with self._lock:
-                self._store[slot] = value
+                self._insert(slot, value)
                 self._misses[stage] += 1
             return value
 
@@ -290,7 +408,12 @@ class ArtifactCache:
     def stats(self) -> CacheStats:
         """Snapshot of the per-stage hit/miss counters."""
         with self._lock:
-            return CacheStats(hits=dict(self._hits), misses=dict(self._misses))
+            return CacheStats(
+                hits=dict(self._hits),
+                misses=dict(self._misses),
+                store_hits=dict(self._store_hits),
+                evictions=dict(self._evictions),
+            )
 
     def __len__(self) -> int:
         with self._lock:
@@ -310,3 +433,5 @@ class ArtifactCache:
             self._store.clear()
             self._hits = dict.fromkeys(_STAGES, 0)
             self._misses = dict.fromkeys(_STAGES, 0)
+            self._store_hits = dict.fromkeys(_STAGES, 0)
+            self._evictions = dict.fromkeys(_STAGES, 0)

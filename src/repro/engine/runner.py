@@ -18,9 +18,13 @@ Three executors are supported:
     keep memory shared.
 ``process``
     ``concurrent.futures.ProcessPoolExecutor`` for CPU-bound grids.
-    Each worker process lazily creates its own cache, so staged reuse is
-    per worker rather than global; jobs and results cross the pickle
-    boundary.  Workers resolve backend names against their own freshly
+    Each worker process lazily creates its own cache, so in-memory
+    staged reuse is per worker rather than global — but a runner
+    constructed with ``store=`` passes the store's root to every
+    worker, which rebuilds a store-backed cache on the same directory:
+    artifacts are then shared across workers (and future processes)
+    through the disk tier, serialized by the store's file locks.  Jobs
+    and results cross the pickle boundary.  Workers resolve backend names against their own freshly
     imported registry, so jobs may only name built-in backends or ones
     registered at import time (e.g. from a module imported by the job's
     code path) — backends registered at runtime in the parent process
@@ -36,6 +40,7 @@ proceed.
 from __future__ import annotations
 
 import concurrent.futures
+import functools
 import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
@@ -142,15 +147,26 @@ def _guarded_job(job: Job, index: int, cache: ArtifactCache) -> JobResult:
 
 
 # Per-process cache for the "process" executor, created lazily in each
-# worker (module globals survive across tasks within one worker).
-_WORKER_CACHE: ArtifactCache | None = None
+# worker (module globals survive across tasks within one worker), keyed
+# by the store root so a runner's persistent store reaches the workers:
+# each builds its own store-backed cache on the same directory, and the
+# store's file locks keep the processes build-once.
+_WORKER_CACHES: dict[str | None, ArtifactCache] = {}
 
 
-def _process_entry(job: Job, index: int) -> JobResult:
-    global _WORKER_CACHE
-    if _WORKER_CACHE is None:
-        _WORKER_CACHE = ArtifactCache()
-    return _guarded_job(job, index, _WORKER_CACHE)
+def _process_entry(
+    job: Job, index: int, store_root: str | None = None
+) -> JobResult:
+    cache = _WORKER_CACHES.get(store_root)
+    if cache is None:
+        store = None
+        if store_root is not None:
+            from ..store import ArtifactStore
+
+            store = ArtifactStore(store_root)
+        cache = ArtifactCache(store=store)
+        _WORKER_CACHES[store_root] = cache
+    return _guarded_job(job, index, cache)
 
 
 class BatchRunner:
@@ -166,6 +182,13 @@ class BatchRunner:
     cache:
         Artifact cache shared by the batch (serial/thread executors).  A
         fresh private cache is created when omitted.
+    store:
+        Optional persistent :class:`~repro.store.ArtifactStore` to back
+        the private cache with (misses fall through memory → disk →
+        build, so repeated sweeps are warm across processes).  Under the
+        process executor every worker opens its own cache on the same
+        store directory.  Mutually exclusive with ``cache`` — attach
+        the store to your own cache instead when you bring one.
     """
 
     def __init__(
@@ -173,6 +196,7 @@ class BatchRunner:
         workers: int | None = None,
         executor: str = "thread",
         cache: ArtifactCache | None = None,
+        store: "object | None" = None,
     ) -> None:
         if executor not in _EXECUTORS:
             choices = ", ".join(_EXECUTORS)
@@ -181,9 +205,22 @@ class BatchRunner:
             )
         if workers is not None and workers < 0:
             raise EngineError(f"workers must be >= 0, got {workers}")
+        if cache is not None and store is not None:
+            raise EngineError(
+                "pass either cache or store, not both (attach the store "
+                "via ArtifactCache(store=...) when you bring a cache)"
+            )
         self._workers = workers
         self._executor = executor
-        self._cache = cache if cache is not None else ArtifactCache()
+        self._cache = (
+            cache if cache is not None else ArtifactCache(store=store)
+        )
+        # Process-executor workers cannot share the in-memory cache, but
+        # they can share the on-disk store: remember its root so worker
+        # processes rebuild a store-backed cache of their own.
+        self._store_root = (
+            str(store.root) if store is not None else None
+        )
 
     @property
     def cache(self) -> ArtifactCache:
@@ -208,7 +245,9 @@ class BatchRunner:
             entry = lambda job, index: _guarded_job(job, index, self._cache)
         else:
             pool_cls = concurrent.futures.ProcessPoolExecutor
-            entry = _process_entry
+            entry = functools.partial(
+                _process_entry, store_root=self._store_root
+            )
         results: list[JobResult | None] = [None] * len(batch)
         with pool_cls(max_workers=self._workers) as pool:
             futures = {

@@ -51,6 +51,23 @@ class CircuitSpec:
     ft: bool = True
     share_ancillas: bool = False
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the spec itself (not the built circuit).
+
+        Frozen-dataclass reprs are canonical, so the digest is identical
+        in every process — the circuit half of the estimation service's
+        request-coalescing identity
+        (:func:`repro.service.jobs.request_fingerprint`).  Distinct
+        sources that build identical circuits get distinct spec
+        fingerprints; content-level sharing happens downstream, at the
+        circuit-fingerprint-keyed stages.
+        """
+        import hashlib
+
+        return hashlib.blake2b(
+            repr(self).encode("utf-8"), digest_size=16
+        ).hexdigest()
+
     def load(self) -> Circuit:
         """Build the synthesis-level circuit this spec names.
 

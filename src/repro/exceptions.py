@@ -74,3 +74,20 @@ class EngineError(ReproError):
     backend under a name that is already taken, or configuring a
     :class:`~repro.engine.runner.BatchRunner` with an unknown executor.
     """
+
+
+class StoreError(ReproError):
+    """Raised by the persistent artifact store (:mod:`repro.store`).
+
+    Examples include asking the codec to encode a value type it has no
+    registered encoder for, or opening a store file whose header does not
+    match the expected format version.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the estimation service (:mod:`repro.service`).
+
+    Examples include querying an unknown job id, submitting a malformed
+    request spec, or a client protocol violation on the service socket.
+    """

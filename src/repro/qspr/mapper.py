@@ -266,7 +266,12 @@ class QSPRMapper:
                 compiled=compiled,
             )
 
-        if cache is None:
+        # Traced schedules carry a per-operation event log that dwarfs
+        # the schedule itself and is practically never re-requested under
+        # an identical key — caching them would squat the LRU memory tier
+        # (and they are deliberately not persistable), so trace runs
+        # bypass the cache entirely.
+        if cache is None or self._record_trace:
             return build()
         from ..engine.cache import params_fingerprint
 

@@ -1,0 +1,32 @@
+"""Estimation service: a serving layer over the execution engine.
+
+Turns the batch engine into long-lived infrastructure:
+
+* :mod:`repro.service.jobs` — :class:`JobQueue`: spec-fingerprint
+  request coalescing (identical in-flight requests share one
+  computation), priority + FIFO ordering, a persistent worker pool over
+  one shared warm cache, and job records (state / result / traceback)
+  queryable by id;
+* :mod:`repro.service.daemon` — :class:`EstimationServer`, the
+  ``leqa serve`` daemon speaking newline-delimited JSON over a local
+  UNIX socket, and :class:`ServiceClient`, the client the
+  ``leqa submit`` / ``leqa status`` / ``leqa result`` verbs use.
+
+With a persistent :class:`~repro.store.ArtifactStore` attached, the
+daemon's cache warm-starts from whatever earlier processes built and
+keeps publishing for the next one — many clients, one hot store, one
+warm cache.
+"""
+
+from .daemon import DEFAULT_SOCKET, EstimationServer, ServiceClient
+from .jobs import JobQueue, JobRecord, normalize_request, request_fingerprint
+
+__all__ = [
+    "JobQueue",
+    "JobRecord",
+    "normalize_request",
+    "request_fingerprint",
+    "EstimationServer",
+    "ServiceClient",
+    "DEFAULT_SOCKET",
+]

@@ -1,0 +1,284 @@
+"""``leqa serve``: the estimation service daemon and its socket client.
+
+A long-lived process owns one :class:`~repro.service.jobs.JobQueue`
+(shared warm :class:`~repro.engine.cache.ArtifactCache`, optional
+persistent :class:`~repro.store.ArtifactStore`) and serves it over a
+local **UNIX domain socket** with a newline-delimited JSON protocol —
+one request object per connection, one response object back:
+
+========== ===========================================================
+op          request fields → response fields
+========== ===========================================================
+``ping``    → ``{"ok": true, "pid": ...}``
+``submit``  ``spec`` (request dict), ``priority`` → ``{"job_id": ...}``
+``status``  ``job_id`` → the job snapshot
+``result``  ``job_id``, ``timeout`` → the terminal job snapshot
+``jobs``    → ``{"jobs": [...]}`` compact summaries
+``stats``   → queue/cache/store counters (machine-readable JSON)
+``shutdown``→ ``{"ok": true}``, then the server exits
+========== ===========================================================
+
+Every response carries ``"ok"``; failures carry ``"error"`` instead of
+payload fields.  The protocol is deliberately line-oriented and
+schema-free so shell clients (``nc -U``, ``socat``) work as well as the
+bundled :class:`ServiceClient` and the ``leqa submit/status/result``
+CLI verbs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from pathlib import Path
+
+from ..exceptions import ServiceError
+from .jobs import JobQueue
+
+__all__ = ["EstimationServer", "ServiceClient", "DEFAULT_SOCKET"]
+
+#: Default socket path of ``leqa serve`` (relative to the working dir).
+DEFAULT_SOCKET = "leqa-serve.sock"
+
+_MAX_LINE = 1 << 20  # 1 MiB: far beyond any legitimate request
+
+
+def _read_line(sock: socket.socket) -> bytes:
+    """Read until newline or EOF (bounded by ``_MAX_LINE``)."""
+    chunks: list[bytes] = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        total += len(chunk)
+        if b"\n" in chunk:
+            break
+        if total > _MAX_LINE:
+            raise ServiceError("request line exceeds the 1 MiB limit")
+    return b"".join(chunks).split(b"\n", 1)[0]
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: read one JSON line, dispatch, answer, close."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via client
+        server: "EstimationServer" = self.server  # type: ignore[assignment]
+        try:
+            line = _read_line(self.request)
+            if not line.strip():
+                raise ServiceError("empty request")
+            request = json.loads(line.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            response = server.dispatch(request)
+        except (ServiceError, json.JSONDecodeError, UnicodeDecodeError) as err:
+            response = {"ok": False, "error": str(err)}
+        try:
+            self.request.sendall(
+                json.dumps(response).encode("utf-8") + b"\n"
+            )
+        except OSError:
+            pass  # client went away; nothing to report to
+
+
+class _ThreadingUnixServer(
+    socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class EstimationServer:
+    """The ``leqa serve`` daemon: a job queue behind a UNIX socket.
+
+    Parameters
+    ----------
+    socket_path:
+        Filesystem path of the UNIX socket to listen on; a stale socket
+        file from a dead daemon is replaced.
+    queue:
+        The :class:`JobQueue` to serve; constructed from
+        ``workers``/``store``/``max_entries`` when omitted.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path = DEFAULT_SOCKET,
+        queue: JobQueue | None = None,
+        workers: int = 2,
+        store: "object | None" = None,
+        max_entries: int | None = None,
+    ) -> None:
+        self._socket_path = Path(socket_path)
+        self._queue = queue if queue is not None else JobQueue(
+            workers=workers, store=store, max_entries=max_entries
+        )
+        if self._socket_path.exists():
+            # A live daemon answers ping; a dead one left a stale inode.
+            try:
+                ServiceClient(self._socket_path).ping()
+            except ServiceError:
+                self._socket_path.unlink()
+            else:
+                raise ServiceError(
+                    f"another daemon is already serving on "
+                    f"{self._socket_path}"
+                )
+        self._server = _ThreadingUnixServer(str(self._socket_path), _Handler)
+        self._server.dispatch = self.dispatch  # type: ignore[attr-defined]
+        self._shutdown_requested = threading.Event()
+
+    @property
+    def queue(self) -> JobQueue:
+        """The job queue this daemon serves."""
+        return self._queue
+
+    @property
+    def socket_path(self) -> Path:
+        """The UNIX socket path clients connect to."""
+        return self._socket_path
+
+    # -- request dispatch ---------------------------------------------------
+
+    def dispatch(self, request: dict) -> dict:
+        """Answer one protocol request (also the in-process test seam).
+
+        Every failure — including malformed field types from raw socket
+        clients (``int(None)``, ``float("soon")``) — comes back as an
+        ``ok: false`` JSON response; nothing escapes to kill the
+        handler's connection without a reply.
+        """
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid()}
+            if op == "submit":
+                job_id = self._queue.submit(
+                    request.get("spec") or {},
+                    priority=int(request.get("priority", 0)),
+                )
+                return {"ok": True, "job_id": job_id}
+            if op == "status":
+                return {"ok": True, **self._queue.status(request.get("job_id"))}
+            if op == "result":
+                timeout = request.get("timeout")
+                snapshot = self._queue.result(
+                    request.get("job_id"),
+                    timeout=None if timeout is None else float(timeout),
+                )
+                return {"ok": True, **snapshot}
+            if op == "jobs":
+                return {"ok": True, "jobs": self._queue.jobs()}
+            if op == "stats":
+                return {"ok": True, **self._queue.stats()}
+            if op == "shutdown":
+                self._shutdown_requested.set()
+                # Stop accepting from a helper thread: shutdown() blocks
+                # until serve_forever() returns, which must not happen on
+                # a handler thread serving this very request.
+                threading.Thread(
+                    target=self._server.shutdown, daemon=True
+                ).start()
+                return {"ok": True}
+            raise ServiceError(f"unknown op {op!r}")
+        except ServiceError as error:
+            return {"ok": False, "error": str(error)}
+        except (TypeError, ValueError) as error:
+            return {"ok": False, "error": f"malformed request: {error}"}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the daemon until a ``shutdown`` request arrives."""
+        self._queue.start()
+        try:
+            self._server.serve_forever(poll_interval=0.2)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the worker pool and remove the socket file."""
+        self._server.server_close()
+        self._queue.stop()
+        self._socket_path.unlink(missing_ok=True)
+
+
+class ServiceClient:
+    """Minimal client of the daemon protocol (one connection per call)."""
+
+    def __init__(
+        self, socket_path: str | Path = DEFAULT_SOCKET, timeout: float = 60.0
+    ) -> None:
+        self._socket_path = str(socket_path)
+        self._timeout = timeout
+
+    def call(self, request: dict) -> dict:
+        """Send one request object, return the response payload.
+
+        Raises
+        ------
+        ServiceError
+            When the daemon is unreachable, the response is malformed,
+            or the daemon answered ``ok: false`` (the daemon's error
+            message is re-raised verbatim).
+        """
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._timeout)
+        try:
+            try:
+                sock.connect(self._socket_path)
+                sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+                line = _read_line(sock)
+            except OSError as error:
+                raise ServiceError(
+                    f"cannot reach daemon at {self._socket_path}: {error}"
+                ) from None
+        finally:
+            sock.close()
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ServiceError(
+                f"malformed daemon response: {error}"
+            ) from None
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "daemon reported an unknown error")
+            )
+        return response
+
+    def ping(self) -> dict:
+        """Liveness probe."""
+        return self.call({"op": "ping"})
+
+    def submit(self, spec: dict, priority: int = 0) -> str:
+        """Submit one request; returns the (possibly coalesced) job id."""
+        return self.call(
+            {"op": "submit", "spec": spec, "priority": priority}
+        )["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        """Snapshot of one job."""
+        return self.call({"op": "status", "job_id": job_id})
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        """Block until a job finishes; returns its terminal snapshot."""
+        return self.call(
+            {"op": "result", "job_id": job_id, "timeout": timeout}
+        )
+
+    def jobs(self) -> list[dict]:
+        """Compact summaries of every tracked job."""
+        return self.call({"op": "jobs"})["jobs"]
+
+    def stats(self) -> dict:
+        """Queue/cache/store counters."""
+        return self.call({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the daemon to exit."""
+        self.call({"op": "shutdown"})

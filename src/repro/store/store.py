@@ -1,0 +1,339 @@
+"""Content-addressed, sharded on-disk artifact store.
+
+The in-memory :class:`~repro.engine.cache.ArtifactCache` makes a staged
+pipeline cheap *within* one process; this module makes it cheap *across*
+processes.  An :class:`ArtifactStore` persists each cache stage's
+artifact under the same ``(stage, key)`` identity the memory tier uses,
+so a cold CLI invocation, a fresh benchmark process or a restarted
+service daemon all warm-start from what any earlier process built.
+
+Layout
+------
+
+Keys are hashed (blake2b over the stage name plus the canonical key
+repr) and fanout-sharded by digest prefix::
+
+    <root>/
+      STORE_FORMAT            one-line format stamp, written once
+      <stage>/<dd>/<digest>.npz     the artifact (codec container)
+      <stage>/<dd>/<digest>.lock    advisory lock for the build race
+
+``dd`` is the first byte of the digest (256-way fanout), which keeps
+directory listings flat even for millions of entries.
+
+Concurrency
+-----------
+
+* **Publishing is atomic**: artifacts are written to a same-directory
+  temp file and ``os.replace``d into place, so readers only ever see
+  complete containers.
+* **Builds are serialized per key** with POSIX advisory file locks
+  (``flock`` on the ``.lock`` sibling): two processes racing
+  :meth:`get_or_build` on one key build at most once — the loser of the
+  race finds the winner's artifact when the lock is granted and loads it
+  instead of rebuilding (``tests/test_store.py`` races real processes to
+  assert this).
+* **GC is unlink-based** and safe against concurrent readers: a reader
+  that already opened a file keeps its data (POSIX semantics); one that
+  lost the race simply misses and rebuilds.
+
+Eviction is LRU by file mtime — every hit re-stamps the artifact's
+mtime, and :meth:`ArtifactStore.gc` drops the stalest entries until the
+store fits the byte budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Hashable, Iterator, TypeVar
+
+from ..exceptions import StoreError
+from . import codec
+
+try:  # advisory locks: POSIX only; degrade to best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["ArtifactStore", "StoreStats", "key_digest"]
+
+_T = TypeVar("_T")
+
+#: First line of the ``STORE_FORMAT`` stamp; bumped with the codec.
+_FORMAT_STAMP = f"leqa-artifact-store v{codec.CODEC_VERSION}\n"
+
+_DATA_SUFFIX = ".npz"
+_LOCK_SUFFIX = ".lock"
+
+
+def key_digest(stage: str, key: Hashable) -> str:
+    """Stable content address of one ``(stage, key)`` slot.
+
+    Cache keys are tuples of primitives (strings, numbers, bools,
+    nested tuples, frozen dataclasses) whose ``repr`` is canonical, so
+    hashing the repr gives the same address in every process — the
+    property that lets two unrelated runs share one on-disk artifact.
+    """
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(stage.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(repr(key).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters of one store instance's activity (not the disk state).
+
+    ``hits``/``misses`` count :meth:`ArtifactStore.get` outcomes,
+    ``writes`` successful publishes, ``bytes_read``/``bytes_written``
+    the corresponding traffic, and ``evicted`` the entries removed by
+    :meth:`ArtifactStore.gc`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    evicted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Machine-readable form (CLI ``--json`` / service ``stats``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "evicted": self.evicted,
+        }
+
+
+class ArtifactStore:
+    """Persistent, multi-process-safe tier of the staged artifact cache.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first use).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root).expanduser()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._evicted = 0
+        self._root.mkdir(parents=True, exist_ok=True)
+        stamp = self._root / "STORE_FORMAT"
+        if stamp.exists():
+            recorded = stamp.read_text()
+            if recorded != _FORMAT_STAMP:
+                raise StoreError(
+                    f"store at {self._root} has format "
+                    f"{recorded.strip()!r}; this build reads "
+                    f"{_FORMAT_STAMP.strip()!r} (delete or relocate the "
+                    "store directory to migrate)"
+                )
+        else:
+            stamp.write_text(_FORMAT_STAMP)
+
+    @property
+    def root(self) -> Path:
+        """The store's base directory."""
+        return self._root
+
+    # -- addressing ---------------------------------------------------------
+
+    def _path(self, stage: str, key: Hashable) -> Path:
+        digest = key_digest(stage, key)
+        return self._root / stage / digest[:2] / f"{digest}{_DATA_SUFFIX}"
+
+    def _entries(self) -> Iterator[Path]:
+        for path in self._root.glob(f"*/*/*{_DATA_SUFFIX}"):
+            yield path
+
+    # -- primitive get/put --------------------------------------------------
+
+    def _read(self, stage: str, key: Hashable, count_miss: bool) -> object | None:
+        """Load one artifact without counting a miss unless asked.
+
+        A hit re-stamps the file's mtime (the LRU clock :meth:`gc`
+        evicts by).  A corrupt or truncated entry — e.g. a survivor of a
+        power cut mid-publish on a non-atomic filesystem — is treated as
+        a miss and removed.
+        """
+        path = self._path(stage, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            if count_miss:
+                with self._lock:
+                    self._misses += 1
+            return None
+        try:
+            value = codec.decode(blob)
+        except StoreError:
+            path.unlink(missing_ok=True)
+            if count_miss:
+                with self._lock:
+                    self._misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # evicted between read and touch: the value is still good
+        with self._lock:
+            self._hits += 1
+            self._bytes_read += len(blob)
+        return value
+
+    def get(self, stage: str, key: Hashable) -> object | None:
+        """Load one artifact, or ``None`` on a (counted) miss."""
+        return self._read(stage, key, count_miss=True)
+
+    def put(self, stage: str, key: Hashable, value: object) -> bool:
+        """Encode and atomically publish one artifact.
+
+        Returns ``False`` (and writes nothing) when the codec has no
+        encoder for the value's type — the caller's memory tier keeps
+        such values process-local.
+        """
+        if not codec.encodable(value):
+            return False
+        blob = codec.encode(value)
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_suffix(f"{_DATA_SUFFIX}.tmp.{os.getpid()}")
+        temp.write_bytes(blob)
+        os.replace(temp, path)
+        with self._lock:
+            self._writes += 1
+            self._bytes_written += len(blob)
+        return True
+
+    # -- build-once across processes ----------------------------------------
+
+    def fetch_or_build(
+        self, stage: str, key: Hashable, builder: Callable[[], _T]
+    ) -> tuple[_T, bool]:
+        """:meth:`get_or_build` that also reports where the value came from.
+
+        Returns ``(value, from_store)`` — ``from_store`` is ``True``
+        when the artifact was loaded (including the case where another
+        process finished the build while this one waited on the file
+        lock), ``False`` when this call ran the builder.  Exactly one
+        miss is counted per built artifact.
+        """
+        value = self._read(stage, key, count_miss=True)
+        if value is not None:
+            return value, True  # type: ignore[return-value]
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = path.with_suffix(_LOCK_SUFFIX)
+        with open(lock_path, "w") as lock_file:
+            if fcntl is not None:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            try:
+                value = self._read(stage, key, count_miss=False)
+                if value is not None:
+                    return value, True  # type: ignore[return-value]
+                built = builder()
+                self.put(stage, key, built)
+                return built, False
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+
+    def get_or_build(
+        self, stage: str, key: Hashable, builder: Callable[[], _T]
+    ) -> _T:
+        """Return the stored artifact, building it at most once per key
+        across every process sharing the store.
+
+        The fast path is a lock-free read.  On a miss the per-key
+        advisory file lock serializes builders: whoever wins builds and
+        publishes; losers re-check under the lock and load the winner's
+        bytes instead.  Unsupported value types still build exactly once
+        per process-race winner but are not persisted.
+        """
+        return self.fetch_or_build(stage, key, builder)[0]
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def size_bytes(self) -> int:
+        """Total bytes of stored artifacts (lock files excluded)."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # concurrently evicted
+        return total
+
+    def gc(self, max_bytes: int) -> int:
+        """Evict least-recently-used artifacts until the store fits.
+
+        Entries are ranked by mtime (re-stamped on every hit), oldest
+        first, and unlinked until total size is at most ``max_bytes``.
+        Returns the number of entries evicted.
+        """
+        if max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
+        ranked: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            ranked.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        ranked.sort()
+        evicted = 0
+        for _, size, path in ranked:
+            if total <= max_bytes:
+                break
+            # Only the data file is unlinked.  The ``.lock`` sibling must
+            # survive: a builder elsewhere may hold (or be waiting on)
+            # its flock, and replacing the inode would let two processes
+            # lock "the same key" independently — breaking build-once.
+            # Lock files are zero bytes, so leaving them costs nothing.
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        with self._lock:
+            self._evicted += evicted
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every stored artifact (counters and lock files are kept;
+        see :meth:`gc` for why locks must not be unlinked)."""
+        for path in self._entries():
+            path.unlink(missing_ok=True)
+
+    def stats(self) -> StoreStats:
+        """Snapshot of this instance's hit/miss/traffic counters."""
+        with self._lock:
+            return StoreStats(
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                bytes_read=self._bytes_read,
+                bytes_written=self._bytes_written,
+                evicted=self._evicted,
+            )
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={str(self._root)!r})"

@@ -52,6 +52,8 @@ __all__ = [
     "enumerate_members",
     "build_member",
     "member_label",
+    "is_member_source",
+    "validate_source",
 ]
 
 _PREFIX = "workload:"
@@ -349,3 +351,38 @@ def member_label(source: str) -> str:
     family, params = _parse_member(source)
     inner = ",".join(f"{k}={v}" for k, v in params.items())
     return f"{family.name}({inner})"
+
+
+def is_member_source(source: str) -> bool:
+    """Whether a string is a ``workload:...`` member source."""
+    return source.startswith(_PREFIX)
+
+
+def validate_source(source: str) -> None:
+    """Cheaply validate a circuit source without building anything.
+
+    Accepts registered benchmark ids, well-formed workload member
+    strings and existing file paths — the same recognition rules as
+    :meth:`repro.engine.spec.CircuitSpec.load`, minus the build.  The
+    estimation service runs this at submit time so malformed requests
+    are rejected at the socket instead of surfacing later as failed
+    jobs.
+
+    Raises
+    ------
+    EngineError
+        If the source is recognisably invalid.
+    """
+    if source in BENCHMARKS:
+        return
+    if is_member_source(source):
+        _parse_member(source)  # raises on unknown family / bad params
+        return
+    from pathlib import Path
+
+    if not Path(source).exists():
+        raise EngineError(
+            f"{source!r} is neither a registered benchmark, a workload "
+            "member, nor a file; run 'leqa benchmarks' or 'leqa "
+            "workloads' for the registries"
+        )
