@@ -113,6 +113,7 @@ def sweep_points(
 MAPPER_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_mapper.json"
 FRONTEND_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_frontend.json"
 STORE_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_store.json"
+STREAM_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_stream.json"
 
 
 def _load_trajectory(path: Path) -> dict:
@@ -183,6 +184,26 @@ def record_frontend_trajectory(
 def recorded_frontend_speedup(key: str) -> float | None:
     """The front-end baseline speedup recorded for one configuration."""
     return _recorded_speedup(FRONTEND_TRAJECTORY_PATH, key)
+
+
+def record_stream_trajectory(
+    key: str, benchmark: str, wall_seconds: float, speedup: float
+) -> None:
+    """Merge one streaming-front-end measurement into ``BENCH_stream.json``.
+
+    For this trajectory ``speedup`` is the *peak-memory advantage* of the
+    chunked path over the materialized path at the measured gate count —
+    the quantity out-of-core streaming exists to maximize; wall time is
+    the machine-dependent context.
+    """
+    _record_trajectory(
+        STREAM_TRAJECTORY_PATH, key, benchmark, wall_seconds, speedup
+    )
+
+
+def recorded_stream_speedup(key: str) -> float | None:
+    """The streaming baseline memory advantage recorded for one config."""
+    return _recorded_speedup(STREAM_TRAJECTORY_PATH, key)
 
 
 def record_store_trajectory(

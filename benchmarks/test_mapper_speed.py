@@ -35,6 +35,9 @@ BENCH = "gf2^16mult"
 #: Asserted floor for the array engine over the legacy engine.
 SPEEDUP_FLOOR = 5.0
 
+#: Asserted floor for the compiled kernel over the array engine.
+KERNEL_SPEEDUP_FLOOR = 2.0
+
 #: A recorded-baseline regression beyond this factor fails the bench.
 REGRESSION_FACTOR = 2.0
 
@@ -88,4 +91,58 @@ def test_array_mapper_speed_and_equivalence(benchmark):
 
     benchmark.pedantic(
         array_mapper.map, args=(circuit,), rounds=1, iterations=1
+    )
+
+
+def test_kernel_mapper_speed_and_equivalence(benchmark):
+    """The compiled scheduler kernel: bitwise the array engine, >= 2x.
+
+    Skipped (not failed) where no C compiler exists — the fallback path
+    is covered by the tier-1 suite; this bench measures the real kernel.
+    """
+    import pytest
+
+    from repro.qspr import _kernel
+
+    if not _kernel.available():
+        pytest.skip("no C compiler: kernel engine unavailable on this host")
+
+    smoke = os.environ.get("REPRO_SMOKE") == "1"
+    rounds = 2 if smoke else 4
+    circuit = ft_circuit(BENCH)
+    array_mapper = QSPRMapper(params=DEFAULT_PARAMS, engine="array")
+    kernel_mapper = QSPRMapper(params=DEFAULT_PARAMS, engine="kernel")
+
+    array = array_mapper.map(circuit)
+    kernel = kernel_mapper.map(circuit)
+    assert kernel.engine == "kernel"
+    assert kernel.latency == array.latency
+    assert kernel.schedule.finish_times == array.schedule.finish_times
+    assert kernel.schedule.final_locations == array.schedule.final_locations
+    assert kernel.schedule.stats == array.schedule.stats
+
+    array_wall = _best_wall(array_mapper, circuit, rounds)
+    kernel_wall = _best_wall(kernel_mapper, circuit, rounds)
+    speedup = array_wall / kernel_wall
+    print(
+        f"\nkernel speedup on {BENCH}: {speedup:.2f}x "
+        f"(array {array_wall * 1000:.1f} ms, kernel "
+        f"{kernel_wall * 1000:.1f} ms)"
+    )
+    assert speedup >= KERNEL_SPEEDUP_FLOOR, (
+        f"kernel engine only {speedup:.2f}x faster than the array engine "
+        f"(floor {KERNEL_SPEEDUP_FLOOR}x)"
+    )
+
+    key = "kernel_smoke" if smoke else "kernel_full"
+    baseline = recorded_mapper_speedup(key)
+    if baseline is not None:
+        assert speedup >= baseline / REGRESSION_FACTOR, (
+            f"kernel speedup regressed more than {REGRESSION_FACTOR}x: "
+            f"{speedup:.2f}x now vs {baseline:.2f}x recorded"
+        )
+    record_mapper_trajectory(key, BENCH, kernel_wall, speedup)
+
+    benchmark.pedantic(
+        kernel_mapper.map, args=(circuit,), rounds=1, iterations=1
     )

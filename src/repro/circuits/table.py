@@ -68,6 +68,19 @@ __all__ = [
 
 _INT = np.dtype("<i8")  # explicit little-endian: fingerprint bytes are stable
 
+#: Default first allocation of a :class:`TableBuilder` column buffer
+#: (rows).  Growth is geometric (doubling), so building an n-row table
+#: costs O(n) amortized copies from any starting capacity; streaming
+#: chunk emitters pass their chunk size as ``initial_capacity`` to land
+#: in one allocation.
+_INITIAL_CAPACITY = 1024
+
+#: Rows buffered in the python staging lists before a bulk flush into
+#: the numpy column buffers.  Scalar ``ndarray.__setitem__`` costs ~4x a
+#: list append, so the hot append path stays on lists and amortizes the
+#: int conversion over slice-assignment flushes.
+_STAGING_ROWS = 512
+
 # -- kind codes the passes branch on ----------------------------------------
 
 _X = KIND_CODES[GateKind.X]
@@ -402,6 +415,16 @@ class TableBuilder:
     free default names) and the arity validation of :class:`Gate`, but
     stores every appended gate as five integers instead of an object —
     the producer half of the array-native front-end.
+
+    Storage is numpy column buffers grown by **geometric doubling** from
+    ``initial_capacity`` (default :data:`_INITIAL_CAPACITY` rows), fed
+    by small python staging lists that are slice-assigned in bulk every
+    :data:`_STAGING_ROWS` appends.  :meth:`finish` is non-destructive
+    (it copies exactly-sized views, so a builder can keep appending);
+    streaming producers that finalize a chunk and keep the builder
+    around call :meth:`shrink_to_fit` to drop the doubling headroom —
+    without it the last chunk of an out-of-core run would hold up to 2x
+    its row count in dead capacity.
     """
 
     def __init__(
@@ -409,6 +432,7 @@ class TableBuilder:
         num_qubits: int = 0,
         name: str = "circuit",
         qubit_names: Sequence[str] | None = None,
+        initial_capacity: int = _INITIAL_CAPACITY,
     ) -> None:
         if not isinstance(num_qubits, int) or isinstance(num_qubits, bool):
             raise CircuitError(
@@ -432,6 +456,16 @@ class TableBuilder:
         self._index_by_name: dict[str, int] = {
             qname: i for i, qname in enumerate(self._qubit_names)
         }
+        # Flushed rows live in the column buffers [0:_size); the hottest
+        # tail rides in the staging lists until the next bulk flush.
+        self._capacity = max(int(initial_capacity), 1)
+        self._size = 0
+        self._buf_kind = np.empty(self._capacity, dtype=np.int8)
+        self._buf_c1 = np.empty(self._capacity, dtype=np.int64)
+        self._buf_c2 = np.empty(self._capacity, dtype=np.int64)
+        self._buf_t1 = np.empty(self._capacity, dtype=np.int64)
+        self._buf_t2 = np.empty(self._capacity, dtype=np.int64)
+        self._buf_ec = np.empty(self._capacity, dtype=np.int64)
         self._kind: list[int] = []
         self._c1: list[int] = []
         self._c2: list[int] = []
@@ -477,7 +511,63 @@ class TableBuilder:
     # -- appends ----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._kind)
+        return self._size + len(self._kind)
+
+    def _grow(self, need: int) -> None:
+        capacity = self._capacity
+        while capacity < need:
+            capacity *= 2
+        size = self._size
+        for attr in ("_buf_kind", "_buf_c1", "_buf_c2", "_buf_t1",
+                     "_buf_t2", "_buf_ec"):
+            old = getattr(self, attr)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[:size] = old[:size]
+            setattr(self, attr, grown)
+        self._capacity = capacity
+
+    def _flush(self) -> None:
+        count = len(self._kind)
+        if not count:
+            return
+        need = self._size + count
+        if need > self._capacity:
+            self._grow(need)
+        lo = self._size
+        self._buf_kind[lo:need] = self._kind
+        self._buf_c1[lo:need] = self._c1
+        self._buf_c2[lo:need] = self._c2
+        self._buf_t1[lo:need] = self._t1
+        self._buf_t2[lo:need] = self._t2
+        self._buf_ec[lo:need] = self._extra_counts
+        self._size = need
+        self._kind.clear()
+        self._c1.clear()
+        self._c2.clear()
+        self._t1.clear()
+        self._t2.clear()
+        self._extra_counts.clear()
+
+    def shrink_to_fit(self) -> None:
+        """Trim the column buffers to the exact appended row count.
+
+        Streaming finalize step: after the doubling growth of a chunk's
+        appends, the buffers may hold up to 2x the rows actually used —
+        calling this before parking a finished chunk keeps out-of-core
+        peak memory at the data's true size.
+        """
+        self._flush()
+        size = self._size
+        capacity = max(size, 1)  # empty buffers keep one doubling seed row
+        if self._capacity == capacity:
+            return
+        for attr in ("_buf_kind", "_buf_c1", "_buf_c2", "_buf_t1",
+                     "_buf_t2", "_buf_ec"):
+            old = getattr(self, attr)
+            trimmed = np.empty(capacity, dtype=old.dtype)
+            trimmed[:size] = old[:size]
+            setattr(self, attr, trimmed)
+        self._capacity = capacity
 
     def _check_bounds(self, *qubits: int) -> None:
         top = len(self._qubit_names)
@@ -504,6 +594,11 @@ class TableBuilder:
             )
 
     def _push(self, code: int, c1: int, c2: int, t1: int, t2: int) -> None:
+        # Flush *before* appending: callers (mct/mcf/append_gate) patch
+        # the new row's extra count via ``_extra_counts[-1]`` right after
+        # this returns, so the row must still be in staging.
+        if len(self._kind) >= _STAGING_ROWS:
+            self._flush()
         self._kind.append(code)
         self._c1.append(c1)
         self._c2.append(c2)
@@ -683,25 +778,43 @@ class TableBuilder:
     # -- finish -----------------------------------------------------------
 
     def finish(self, name: str | None = None) -> GateTable:
-        """Freeze the buffered rows into an immutable :class:`GateTable`."""
-        n = len(self._kind)
+        """Freeze the buffered rows into an immutable :class:`GateTable`.
+
+        Non-destructive: the table gets exact-size copies and the
+        builder stays appendable (chunk emitters finish each chunk off
+        the same builder after clearing it).
+        """
+        self._flush()
+        n = self._size
         extra_indptr = np.zeros(n + 1, dtype=np.int64)
         if self._extra:
-            np.cumsum(
-                np.asarray(self._extra_counts, dtype=np.int64),
-                out=extra_indptr[1:],
-            )
+            np.cumsum(self._buf_ec[:n], out=extra_indptr[1:])
         return GateTable(
-            kind=np.asarray(self._kind, dtype=np.int8),
-            ctrl=np.asarray(self._c1, dtype=np.int64),
-            ctrl2=np.asarray(self._c2, dtype=np.int64),
-            target=np.asarray(self._t1, dtype=np.int64),
-            target2=np.asarray(self._t2, dtype=np.int64),
+            kind=self._buf_kind[:n].copy(),
+            ctrl=self._buf_c1[:n].copy(),
+            ctrl2=self._buf_c2[:n].copy(),
+            target=self._buf_t1[:n].copy(),
+            target2=self._buf_t2[:n].copy(),
             extra_indptr=extra_indptr,
             extra=np.asarray(self._extra, dtype=np.int64),
             qubit_names=tuple(self._qubit_names),
             name=name if name is not None else self.name,
         )
+
+    def clear_rows(self) -> None:
+        """Drop every appended row, keeping the register and capacity.
+
+        The chunk-emitter reset: qubit names persist (indices stay
+        valid across chunks), the buffers are reused allocation-free.
+        """
+        self._size = 0
+        self._kind.clear()
+        self._c1.clear()
+        self._c2.clear()
+        self._t1.clear()
+        self._t2.clear()
+        self._extra_counts.clear()
+        self._extra.clear()
 
 
 def table_from_gates(

@@ -170,6 +170,34 @@ def build_arg_parser() -> argparse.ArgumentParser:
         choices=("mm1", "md1"),
         help="channel congestion model (default: mm1, the paper's)",
     )
+    est.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "run the out-of-core streaming front-end: the netlist is "
+            "parsed, FT-synthesized and estimated in bounded-size chunks "
+            "without ever materializing the whole circuit (same result "
+            "as the materialized path, bitwise)"
+        ),
+    )
+    est.add_argument(
+        "--chunk-gates",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "rows per streaming chunk for --stream "
+            "(default: repro.circuits.stream.DEFAULT_CHUNK_SIZE)"
+        ),
+    )
+    est.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "with --stream, print per-stage chunk counts and wall times "
+            "of the streaming front-end"
+        ),
+    )
 
     mapper = subparsers.add_parser("map", help="run the detailed mapper")
     _add_common_options(mapper)
@@ -184,6 +212,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="maze",
         choices=("maze", "xy"),
         help="routing mode",
+    )
+    mapper.add_argument(
+        "--engine",
+        default="array",
+        choices=("array", "kernel", "legacy"),
+        help=(
+            "scheduler engine: array (vectorized numpy, default), kernel "
+            "(compiled C; auto-built with the system compiler, falls back "
+            "to array with a warning when unavailable) or legacy "
+            "(reference oracle); all three produce bitwise-identical "
+            "schedules"
+        ),
     )
 
     compare = subparsers.add_parser(
@@ -446,7 +486,77 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _estimate_streaming(args: argparse.Namespace) -> int:
+    """``leqa estimate --stream``: the chunked out-of-core path."""
+    from pathlib import Path
+
+    from .circuits.stream import (
+        DEFAULT_CHUNK_SIZE,
+        StreamProfile,
+        estimate_stream,
+        lower_ft_stream,
+        optimize_stream,
+        stream_read_qasm_lite,
+        stream_read_real,
+        stream_table,
+    )
+
+    chunk_size = args.chunk_gates or DEFAULT_CHUNK_SIZE
+    profile = StreamProfile() if args.profile else None
+    path = Path(args.circuit)
+    if path.is_file():
+        # File sources never touch a materialized table: parse -> FT ->
+        # (optimize ->) estimate is chunk-wise end to end.
+        if path.suffix == ".real":
+            chunks = stream_read_real(path, chunk_size=chunk_size)
+        else:
+            chunks = stream_read_qasm_lite(path, chunk_size=chunk_size)
+        chunks = lower_ft_stream(chunks, profile=profile)
+    else:
+        circuit = _load_circuit(args.circuit)
+        if circuit.is_ft():
+            chunks = stream_table(circuit.table(), chunk_size=chunk_size)
+        else:
+            chunks = lower_ft_stream(
+                stream_table(circuit.table(), chunk_size=chunk_size),
+                profile=profile,
+            )
+    if args.optimize:
+        chunks = optimize_stream(
+            chunks, chunk_size=chunk_size, profile=profile
+        )
+    max_terms = None if args.max_sq_terms == 0 else args.max_sq_terms
+    result = estimate_stream(
+        chunks,
+        _params_from_args(args),
+        profile=profile,
+        max_sq_terms=max_terms,
+        queue_model=args.queue_model,
+    )
+    print(f"front-end          streaming ({chunk_size} gates/chunk)")
+    print(f"qubits             {result.qubit_count}")
+    print(f"operations         {result.op_count}")
+    print(f"avg zone area B    {result.average_zone_area:.4f}")
+    print(f"d_uncong           {result.d_uncong:.4f} us")
+    print(f"L_CNOT^avg         {result.l_avg_cnot:.4f} us")
+    print(f"critical CNOTs     {result.critical.cnot_count}")
+    print(
+        "estimated latency  "
+        f"{format_scientific(result.latency_seconds)} s"
+    )
+    print(f"estimator runtime  {result.elapsed_seconds:.3f} s")
+    if profile is not None:
+        print()
+        print(f"{'stage':<18} {'chunks':>7} {'rows':>10} {'wall (s)':>10}")
+        print("-" * 48)
+        for stage, (count, rows, seconds) in profile.stage_totals().items():
+            print(f"{stage:<18} {count:>7} {rows:>10} {seconds:>10.3f}")
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    if args.stream:
+        return _estimate_streaming(args)
     circuit = _prepare_ft(_load_circuit(args.circuit))
     if args.optimize:
         from .circuits.optimize import optimize_ft
@@ -482,10 +592,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
         params=_params_from_args(args),
         placement=args.placement,
         routing=args.routing,
+        engine=args.engine,
     )
     result = mapper.map(circuit)
     stats = result.schedule.stats
     print(f"circuit            {circuit.name}")
+    print(f"scheduler engine   {result.engine}")
     print(f"qubits             {result.qubit_count}")
     print(f"operations         {result.op_count}")
     print(f"qubit moves        {stats.total_moves}")
@@ -542,6 +654,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         from .qspr.mapper import MAPPER_STAGES
 
         print()
+        print(f"scheduler engine   {getattr(mapped, 'engine', 'array')}")
         print(f"{'stage':<12} {'wall (s)':>10}")
         print("-" * 23)
         for stage in MAPPER_STAGES:
@@ -654,6 +767,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if profiled:
             from .qspr.mapper import MAPPER_STAGES as stages
 
+            engines = {
+                getattr(point.result.detail, "engine", "array")
+                for point in profiled
+            }
+            print(f"\nscheduler engine   {', '.join(sorted(engines))}")
             header = f"{'fabric':<10}" + "".join(
                 f" {stage + ' (s)':>14}" for stage in stages
             )

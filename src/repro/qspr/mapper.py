@@ -72,6 +72,12 @@ class MappingResult:
     stage_seconds:
         Wall time per mapper stage (``iig`` / ``qodg`` / ``placement`` /
         ``schedule``); a cached stage costs its lookup only.
+    engine:
+        Scheduler engine that produced the schedule (``"array"``,
+        ``"kernel"`` or ``"legacy"``).  Note this is the engine the
+        mapper *requested*: a ``"kernel"`` run that fell back (no C
+        compiler) still reports ``"kernel"`` and emits a
+        :class:`RuntimeWarning` at schedule time.
     """
 
     schedule: ScheduleResult
@@ -80,6 +86,7 @@ class MappingResult:
     op_count: int
     elapsed_seconds: float
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
+    engine: str = "array"
 
     @property
     def latency(self) -> float:
@@ -115,7 +122,10 @@ class QSPRMapper:
         (list scheduling by ALAP priority).
     engine:
         Scheduler engine, ``"array"`` (default; slot-indexed
-        structure-of-arrays) or ``"legacy"`` (reference oracle); both
+        structure-of-arrays), ``"kernel"`` (compiled C translation of
+        the array loop; auto-built with the system compiler and falls
+        back to ``"array"`` with a :class:`RuntimeWarning` when
+        unavailable) or ``"legacy"`` (reference oracle); all three
         produce bitwise-identical schedules.
     cache:
         Optional :class:`~repro.engine.cache.ArtifactCache`; when given,
@@ -150,7 +160,7 @@ class QSPRMapper:
 
     @property
     def engine(self) -> str:
-        """Scheduler engine in use (``"array"`` or ``"legacy"``)."""
+        """Scheduler engine in use (``"array"``, ``"kernel"`` or ``"legacy"``)."""
         return self._engine
 
     def map(self, circuit: Circuit, iig: IIG | None = None) -> MappingResult:
@@ -208,6 +218,7 @@ class QSPRMapper:
             op_count=len(circuit),
             elapsed_seconds=elapsed,
             stage_seconds=stage_seconds,
+            engine=self._engine,
         )
 
     # -- staged builders ----------------------------------------------------
@@ -283,7 +294,7 @@ class QSPRMapper:
             self._routing,
             self._scheduling,
             self._record_trace,
-            # Both engines produce bitwise-identical schedules, but keying
+            # All engines produce bitwise-identical schedules, but keying
             # them separately keeps engine comparisons honest: a shared
             # cache must never serve one engine's result as the other's
             # measurement (or mask an equivalence regression).

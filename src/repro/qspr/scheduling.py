@@ -26,7 +26,7 @@ ULBs are *execution*-exclusive (one operation at a time) but can store any
 number of idle qubits, matching the paper's observation that several
 operations may share a ULB across different time slots.
 
-Two engines implement the identical schedule:
+Three engines implement the identical schedule:
 
 ``"array"`` (default)
     Slot-indexed, structure-of-arrays engine: the circuit is first
@@ -37,6 +37,16 @@ Two engines implement the identical schedule:
     int-encoded maze search).  Several times faster than the legacy
     engine with bitwise-identical output.
 
+``"kernel"``
+    The same loop compiled to native code (:mod:`repro.qspr._kernel`):
+    one C translation of the array engine plus its router, built with
+    the system C compiler on first use and driven through ``ctypes``.
+    When the kernel cannot be built or loaded (no compiler, hidden
+    module), scheduling falls back to ``"array"`` with a
+    ``RuntimeWarning`` — the pure-Python path is always available.
+    Trace-recording runs stay on the array path (the trace needs
+    per-gate Python objects anyway).
+
 ``"legacy"``
     The original object-per-step implementation over
     :class:`~repro.qspr.routing.Router`/:class:`~repro.fabric.channels.ChannelNetwork`.
@@ -46,6 +56,7 @@ Two engines implement the identical schedule:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..circuits.circuit import Circuit
@@ -67,7 +78,7 @@ __all__ = [
 ]
 
 #: Supported scheduler engine names.
-SCHEDULER_ENGINES = ("array", "legacy")
+SCHEDULER_ENGINES = ("array", "kernel", "legacy")
 
 
 @dataclass(frozen=True)
@@ -334,8 +345,10 @@ def schedule_circuit(
         itself a topological order) or ``"alap"`` (list scheduling by
         ALAP priority — critical operations claim resources first).
     engine:
-        ``"array"`` (default; slot-indexed structure-of-arrays engine) or
-        ``"legacy"`` (reference implementation).  Both produce bitwise
+        ``"array"`` (default; slot-indexed structure-of-arrays engine),
+        ``"kernel"`` (the same loop compiled to native code, falling
+        back to ``"array"`` with a warning when unavailable) or
+        ``"legacy"`` (reference implementation).  All produce bitwise
         identical results.
     compiled:
         Optional prebuilt :class:`CompiledQODG` of the same circuit under
@@ -390,9 +403,87 @@ def schedule_circuit(
         raise MappingError(
             f"unknown scheduling order {order!r}; choose 'program' or 'alap'"
         )
+    # The compiled kernel covers the untraced loop; tracing needs the
+    # per-gate Python objects, so it stays on the (identical) array path.
+    if engine == "kernel" and not record_trace:
+        result = _schedule_kernel(
+            compiled, placement, params, routing_mode, visit_order
+        )
+        if result is not None:
+            return result
     return _schedule_array(
         circuit, compiled, placement, params, router, record_trace,
         visit_order,
+    )
+
+
+def _schedule_kernel(
+    compiled: CompiledQODG,
+    placement: list[Position],
+    params: PhysicalParams,
+    routing_mode: str,
+    visit_order,
+) -> ScheduleResult | None:
+    """Drive the compiled C loop; ``None`` means "fall back to array".
+
+    The kernel import/compile is attempted lazily per call so a hidden
+    module or missing compiler degrades to the pure-Python engine with a
+    :class:`RuntimeWarning` instead of failing the schedule.
+    """
+    import numpy as np
+
+    try:
+        from . import _kernel
+
+        height = params.fabric.height
+        initial = np.array(
+            [x * height + y for x, y in placement], dtype=np.int64
+        )
+        order_array = np.asarray(
+            visit_order
+            if not isinstance(visit_order, range)
+            else np.arange(compiled.num_ops),
+            dtype=np.int64,
+        )
+        finish_times, qloc, stats_ints, total_wait = _kernel.schedule_arrays(
+            compiled.q0,
+            compiled.q1,
+            compiled.delays,
+            order_array,
+            compiled.num_qubits,
+            params.fabric.width,
+            height,
+            params.channel_capacity,
+            params.t_move,
+            routing_mode,
+            initial,
+        )
+    except (ImportError, AttributeError, OSError, RuntimeError) as error:
+        warnings.warn(
+            f"compiled scheduler kernel unavailable ({error}); falling "
+            "back to engine='array'",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    moves, hops, relocations, cnot_count, one_qubit_count = stats_ints
+    finish_list = finish_times.tolist()
+    stats = ScheduleStats(
+        total_moves=moves,
+        total_hops=hops,
+        congestion_wait=total_wait,
+        relocations=relocations,
+        cnot_count=cnot_count,
+        one_qubit_count=one_qubit_count,
+    )
+    return ScheduleResult(
+        latency=max(finish_list, default=0.0),
+        finish_times=tuple(finish_list),
+        final_locations=tuple(
+            divmod(node, params.fabric.height) for node in qloc.tolist()
+        ),
+        stats=stats,
+        trace=None,
     )
 
 

@@ -1,11 +1,16 @@
-"""Array-native vs legacy scheduler equivalence (repro.qspr.scheduling).
+"""Scheduler engine equivalence (repro.qspr.scheduling).
 
-The slot-indexed engine's contract is *bitwise identity* with the legacy
-scheduler: same per-op start/finish times, same latency, same final qubit
-locations, same movement statistics, same traces.  These tests pin that
-contract across the registered circuit library and the router's edge
-cases (channel at capacity ``N_c``, zero-length journeys, single-ULB
-fabrics).
+The array and compiled-kernel engines' contract is *bitwise identity*
+with the legacy scheduler: same per-op start/finish times, same latency,
+same final qubit locations, same movement statistics, same traces.
+These tests pin that contract across the registered circuit library and
+the router's edge cases (channel at capacity ``N_c``, zero-length
+journeys, single-ULB fabrics), for all three engines.
+
+The kernel engine compiles its C backend on first use and degrades to
+the array engine (with a :class:`RuntimeWarning`) where no compiler
+exists — either way the comparisons below must hold, so the suite is
+valid on compiler-less machines too.
 
 Large library rows are skipped unless ``REPRO_FULL=1`` to keep the tier-1
 suite fast; the covered subset still spans every gate kind, both routing
@@ -16,6 +21,8 @@ from __future__ import annotations
 
 import functools
 import os
+import sys
+import warnings
 
 import pytest
 
@@ -49,23 +56,33 @@ def library_rows() -> list[str]:
     ]
 
 
-def both_engines(circuit, placement, params, **kwargs):
+def all_engines(circuit, placement, params, **kwargs):
     legacy = schedule_circuit(
         circuit, placement, params, engine="legacy", **kwargs
     )
     array = schedule_circuit(
         circuit, placement, params, engine="array", **kwargs
     )
-    return legacy, array
+    # The kernel path has no trace recorder (tracing falls through to the
+    # array engine), so compare it untraced; without a C compiler it
+    # degrades to the array engine with a warning — still identical.
+    kernel_kwargs = dict(kwargs)
+    kernel_kwargs.pop("record_trace", None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        kernel = schedule_circuit(
+            circuit, placement, params, engine="kernel", **kernel_kwargs
+        )
+    return legacy, array, kernel
 
 
-def assert_identical(legacy, array):
-    assert array.latency == legacy.latency
-    assert array.finish_times == legacy.finish_times
-    assert array.final_locations == legacy.final_locations
-    assert array.stats == legacy.stats
-    if legacy.trace is not None:
-        assert list(array.trace) == list(legacy.trace)
+def assert_identical(reference, other, check_trace=True):
+    assert other.latency == reference.latency
+    assert other.finish_times == reference.finish_times
+    assert other.final_locations == reference.final_locations
+    assert other.stats == reference.stats
+    if check_trace and reference.trace is not None:
+        assert list(other.trace) == list(reference.trace)
 
 
 @pytest.fixture(scope="module")
@@ -84,10 +101,11 @@ class TestLibraryEquivalence:
         placement = make_placement(
             "iig_greedy", build_iig(circuit), TQA(params.fabric)
         )
-        legacy, array = both_engines(
+        legacy, array, kernel = all_engines(
             circuit, placement, params, record_trace=True
         )
         assert_identical(legacy, array)
+        assert_identical(legacy, kernel, check_trace=False)
 
     @pytest.mark.parametrize("routing", ["maze", "xy"])
     @pytest.mark.parametrize("order", ["program", "alap"])
@@ -99,10 +117,11 @@ class TestLibraryEquivalence:
         placement = make_placement(
             "iig_greedy", build_iig(circuit), TQA(params.fabric)
         )
-        legacy, array = both_engines(
+        legacy, array, kernel = all_engines(
             circuit, placement, params, routing_mode=routing, order=order,
         )
         assert_identical(legacy, array)
+        assert_identical(legacy, kernel)
 
     def test_identical_under_heavy_congestion(self, ft_library):
         """A saturated fabric (capacity 1, tiny grid) drives every journey
@@ -114,10 +133,11 @@ class TestLibraryEquivalence:
         placement = make_placement(
             "row_major", build_iig(circuit), TQA(params.fabric)
         )
-        legacy, array = both_engines(
+        legacy, array, kernel = all_engines(
             circuit, placement, params, record_trace=True
         )
         assert_identical(legacy, array)
+        assert_identical(legacy, kernel, check_trace=False)
 
     def test_identical_with_prebuilt_compiled_ops(self, ft_library):
         circuit = ft_library["ham3"]
@@ -127,10 +147,14 @@ class TestLibraryEquivalence:
         )
         compiled = compile_qodg(circuit, params.delays.by_kind())
         legacy = schedule_circuit(circuit, placement, params, engine="legacy")
-        array = schedule_circuit(
-            circuit, placement, params, engine="array", compiled=compiled
-        )
-        assert_identical(legacy, array)
+        for engine in ("array", "kernel"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = schedule_circuit(
+                    circuit, placement, params, engine=engine,
+                    compiled=compiled,
+                )
+            assert_identical(legacy, result)
 
     def test_unknown_engine_rejected(self):
         from repro.exceptions import MappingError
@@ -140,6 +164,77 @@ class TestLibraryEquivalence:
         params = PhysicalParams(fabric=FabricSpec(4, 4))
         with pytest.raises(MappingError, match="unknown scheduler engine"):
             schedule_circuit(circuit, [(0, 0)], params, engine="numpy")
+
+
+class TestKernelFallback:
+    """The kernel engine must degrade to the array engine, loudly."""
+
+    def _ham3_setup(self, ft_library):
+        circuit = ft_library["ham3"]
+        params = PhysicalParams(fabric=FabricSpec(8, 8))
+        placement = make_placement(
+            "iig_greedy", build_iig(circuit), TQA(params.fabric)
+        )
+        return circuit, placement, params
+
+    def test_missing_kernel_module_degrades_with_warning(
+        self, monkeypatch, ft_library
+    ):
+        """Hiding the compiled backend's module forces the fallback: the
+        schedule is still bitwise the array engine's, plus a warning."""
+        circuit, placement, params = self._ham3_setup(ft_library)
+        array = schedule_circuit(
+            circuit, placement, params, engine="array"
+        )
+        import repro.qspr
+
+        # Both the sys.modules entry and the package attribute must go:
+        # either one would satisfy `from . import _kernel` on its own.
+        monkeypatch.delattr(repro.qspr, "_kernel", raising=False)
+        monkeypatch.setitem(sys.modules, "repro.qspr._kernel", None)
+        with pytest.warns(
+            RuntimeWarning, match="falling back to engine='array'"
+        ):
+            fallen_back = schedule_circuit(
+                circuit, placement, params, engine="kernel"
+            )
+        assert_identical(array, fallen_back)
+
+    def test_kernel_load_failure_degrades_with_warning(
+        self, monkeypatch, ft_library
+    ):
+        """A backend that imports but cannot build its shared object
+        (no compiler, compile error) degrades the same way."""
+        from repro.qspr import _kernel
+
+        circuit, placement, params = self._ham3_setup(ft_library)
+        array = schedule_circuit(
+            circuit, placement, params, engine="array"
+        )
+
+        def broken_load():
+            raise RuntimeError("no C compiler found (test stub)")
+
+        monkeypatch.setattr(_kernel, "load", broken_load)
+        with pytest.warns(
+            RuntimeWarning, match="falling back to engine='array'"
+        ):
+            fallen_back = schedule_circuit(
+                circuit, placement, params, engine="kernel"
+            )
+        assert_identical(array, fallen_back)
+
+    def test_mapping_result_reports_requested_engine(self, ft_library):
+        from repro.qspr.mapper import map_circuit
+
+        circuit = ft_library["ham3"]
+        params = PhysicalParams(fabric=FabricSpec(8, 8))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = map_circuit(circuit, params, engine="kernel")
+        assert result.engine == "kernel"
+        assert map_circuit(circuit, params).engine == "array"
+        assert result.latency == map_circuit(circuit, params).latency
 
 
 class TestSlotRouterEdgeCases:
@@ -188,10 +283,11 @@ class TestSlotRouterEdgeCases:
         circuit.extend([h(0), cnot(0, 1), t(1), x(0)])
         params = PhysicalParams(fabric=FabricSpec(1, 1))
         placement = [(0, 0), (0, 0)]
-        legacy, array = both_engines(
+        legacy, array, kernel = all_engines(
             circuit, placement, params, record_trace=True
         )
         assert_identical(legacy, array)
+        assert_identical(legacy, kernel, check_trace=False)
         assert array.stats.total_moves == 0
         assert array.final_locations == ((0, 0), (0, 0))
 
@@ -203,8 +299,9 @@ class TestSlotRouterEdgeCases:
             placement = make_placement(
                 "row_major", build_iig(circuit), TQA(params.fabric)
             )
-            legacy, array = both_engines(circuit, placement, params)
+            legacy, array, kernel = all_engines(circuit, placement, params)
             assert_identical(legacy, array)
+            assert_identical(legacy, kernel)
 
     def test_unknown_mode_rejected(self):
         from repro.exceptions import MappingError
