@@ -114,6 +114,7 @@ MAPPER_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_mapper.json"
 FRONTEND_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_frontend.json"
 STORE_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_store.json"
 STREAM_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_stream.json"
+OBS_TRAJECTORY_PATH = Path(__file__).parent / "BENCH_obs.json"
 
 
 def _load_trajectory(path: Path) -> dict:
@@ -218,3 +219,31 @@ def record_store_trajectory(
 def recorded_store_speedup(key: str) -> float | None:
     """The warm-store baseline speedup recorded for one configuration."""
     return _recorded_speedup(STORE_TRAJECTORY_PATH, key)
+
+
+def record_obs_trajectory(
+    key: str, benchmark: str, wall_seconds: float, overhead_pct: float
+) -> None:
+    """Merge one telemetry-overhead measurement into ``BENCH_obs.json``.
+
+    Unlike the speed trajectories, the recorded signal here is the
+    *overhead percentage* of the obs-enabled path over the disabled
+    path on the mapper bench — the quantity the <3% CI gate pins.
+    """
+    record = _load_trajectory(OBS_TRAJECTORY_PATH)
+    record.setdefault("entries", {})[key] = {
+        "benchmark": benchmark,
+        "wall_seconds": round(wall_seconds, 4),
+        "overhead_pct": round(overhead_pct, 3),
+    }
+    with OBS_TRAJECTORY_PATH.open("w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def recorded_obs_overhead(key: str) -> float | None:
+    """The telemetry overhead recorded for one configuration, if any."""
+    entry = _load_trajectory(OBS_TRAJECTORY_PATH).get("entries", {}).get(key)
+    if entry is None:
+        return None
+    return float(entry["overhead_pct"])

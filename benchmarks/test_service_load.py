@@ -1,0 +1,124 @@
+"""Service load smoke: 50 concurrent clients, zero lost or duplicated jobs.
+
+The acceptance gate for the serving layer under concurrency: one
+daemon, 50 clients submitting simultaneously over the UNIX socket,
+each with a *distinct* spec (same benchmark, distinct fabric widths so
+nothing coalesces).  The run asserts the invariants a job queue must
+never trade away under load:
+
+* **zero lost jobs** — every submit returns a job id and every id
+  reaches the ``done`` state;
+* **zero duplicated jobs** — 50 distinct specs produce 50 distinct ids
+  and the daemon tracks exactly 50 job records, no coalescing;
+* **bounded tail latency** — the per-job submit-to-terminal p99 read
+  back from the unified metrics registry stays under a generous bound
+  (the gate catches lost-wakeup/livelock bugs, not throughput drift);
+* **observability under load** — ``stats`` serves per-stage latency
+  histograms and queue counters mid-flight without wedging the pool.
+
+The daemon then drains gracefully: shutdown with work done leaves no
+socket file and a joined server thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import ServiceError
+from repro.service import EstimationServer, ServiceClient
+
+CLIENTS = 50
+
+#: Generous ceiling on the per-job submit-to-done p99 (seconds).  Jobs
+#: are small (ham3 across fabric widths); minutes here means the pool
+#: livelocked, lost a wakeup, or serialized behind a poisoned lock.
+P99_CEILING_SECONDS = 60.0
+
+
+def test_fifty_concurrent_clients_lose_nothing(tmp_path):
+    server = EstimationServer(tmp_path / "load.sock", workers=4)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    probe = ServiceClient(server.socket_path, timeout=120)
+    deadline = time.monotonic() + 10
+    while True:
+        try:
+            probe.ping()
+            break
+        except ServiceError:
+            assert time.monotonic() < deadline, "daemon never came up"
+            time.sleep(0.02)
+
+    ids: list[str | None] = [None] * CLIENTS
+    errors: list[Exception] = []
+    start_gate = threading.Barrier(CLIENTS)
+
+    def client_thread(index: int) -> None:
+        client = ServiceClient(server.socket_path, timeout=120)
+        spec = {
+            "source": "ham3",
+            "params": {"width": 10 + index, "height": 10 + index},
+        }
+        try:
+            start_gate.wait(timeout=30)
+            ids[index] = client.submit(spec)
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client_thread, args=(i,))
+        for i in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert errors == [], f"client submits failed: {errors[:3]}"
+    assert all(job_id is not None for job_id in ids), "lost submits"
+    # Distinct specs must never coalesce or collide: 50 distinct ids.
+    assert len(set(ids)) == CLIENTS
+
+    # Stats answers mid-flight without wedging the pool.
+    midflight = probe.stats()
+    assert midflight["workers"] == 4
+
+    # Every admitted job reaches the terminal done state — zero lost.
+    for job_id in ids:
+        snapshot = probe.result(job_id, timeout=120)
+        assert snapshot["state"] == "done", (
+            f"job {job_id} ended {snapshot['state']!r}: "
+            f"{snapshot.get('error')}"
+        )
+
+    stats = probe.stats()
+    assert stats["jobs"]["done"] == CLIENTS
+    assert stats["jobs"]["failed"] == 0
+    assert stats["coalesced"] == 0
+    assert stats["rejected"] == {"full": 0, "draining": 0}
+    assert stats["queue_depth"] == 0
+
+    # Tail latency from the unified registry: submit-to-done p99.
+    job_hist = stats["metrics"]["histograms"]["service.job.seconds"]
+    done_series = [
+        series for key, series in job_hist.items() if "state=done" in key
+    ]
+    assert done_series, "no per-job latency histogram recorded"
+    assert done_series[0]["count"] >= CLIENTS
+    assert done_series[0]["p99"] < P99_CEILING_SECONDS, (
+        f"p99 submit-to-done latency {done_series[0]['p99']:.2f}s exceeds "
+        f"the {P99_CEILING_SECONDS}s ceiling"
+    )
+    # Per-stage pipeline histograms made it through the wire format.
+    assert "pipeline.stage.seconds" in stats["metrics"]["histograms"]
+
+    print(
+        f"\nload smoke: {CLIENTS} clients, "
+        f"p99 {done_series[0]['p99']:.3f}s, "
+        f"p50 {done_series[0]['p50']:.3f}s"
+    )
+
+    probe.shutdown()
+    thread.join(timeout=60)
+    assert not thread.is_alive(), "daemon failed to drain and exit"
+    assert not server.socket_path.exists(), "stale socket file left behind"

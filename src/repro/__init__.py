@@ -72,8 +72,14 @@ from .exceptions import (
     ParseError,
     ReproError,
 )
-from .exceptions import ServiceError, StoreError
+from .exceptions import (
+    QueueDrainingError,
+    QueueFullError,
+    ServiceError,
+    StoreError,
+)
 from .fabric import DEFAULT_PARAMS, FabricSpec, GateDelays, PhysicalParams, TQA
+from . import obs
 from .qodg import IIG, QODG, build_iig, build_qodg, critical_path
 from .qspr import MappingResult, QSPRMapper, map_circuit
 from .service import EstimationServer, JobQueue, ServiceClient
@@ -142,5 +148,8 @@ __all__ = [
     "JobQueue",
     "ServiceClient",
     "ServiceError",
+    "QueueDrainingError",
+    "QueueFullError",
+    "obs",
     "__version__",
 ]

@@ -47,6 +47,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, TextIO
 import numpy as np
 
 from ..exceptions import CircuitError, DecompositionError, ParseError
+from ..obs import default_registry as _obs_registry
+from ..obs import record_span, span as obs_span
 from .gates import GateKind, KIND_CODES, KINDS_BY_CODE, kind_from_name
 from .generators import _RANDOM_FT_ONE_QUBIT
 from .parser import _append_from_operands, _parse_real_gate
@@ -570,27 +572,36 @@ def lower_ft_stream(
     carry: _McExpandCarry | None = None
     base_register: tuple[str, ...] | None = None
     for table in chunks:
-        tick = time.perf_counter() if profile is not None else 0.0
-        if carry is None:
-            base_register = table.qubit_names
-            carry = _McExpandCarry(base_register, share_ancillas)
-        elif table.qubit_names != base_register:
-            raise CircuitError(
-                "lower_ft_stream requires a fixed input register (ancilla "
-                "indices are allocated past the declared qubits); declare "
-                "all qubits before streaming FT synthesis"
-            )
-        lowered = carry.expand_chunk(table)
-        lowered = eliminate_swap_table(lowered)
-        lowered = eliminate_fredkin_table(lowered)
-        lowered = lower_toffoli_table(lowered)
-        if not lowered.is_ft():
-            bad = lowered.kind[~FT_CODE_MASK[lowered.kind]][0]
-            raise DecompositionError(
-                f"gate kind {KINDS_BY_CODE[bad].value!r} survived FT synthesis"
-            )
+        # The span closes before the yield, so consumer time is never
+        # charged to the producer; the profile reads its wall off the
+        # span (one source of truth for both surfaces).
+        with obs_span(
+            "stream.ft", metric="stream.stage.seconds", stage="ft"
+        ) as sp:
+            if carry is None:
+                base_register = table.qubit_names
+                carry = _McExpandCarry(base_register, share_ancillas)
+            elif table.qubit_names != base_register:
+                raise CircuitError(
+                    "lower_ft_stream requires a fixed input register "
+                    "(ancilla indices are allocated past the declared "
+                    "qubits); declare all qubits before streaming FT "
+                    "synthesis"
+                )
+            lowered = carry.expand_chunk(table)
+            lowered = eliminate_swap_table(lowered)
+            lowered = eliminate_fredkin_table(lowered)
+            lowered = lower_toffoli_table(lowered)
+            if not lowered.is_ft():
+                bad = lowered.kind[~FT_CODE_MASK[lowered.kind]][0]
+                raise DecompositionError(
+                    f"gate kind {KINDS_BY_CODE[bad].value!r} survived FT "
+                    "synthesis"
+                )
+            sp.annotate(rows=len(lowered))
+        _obs_registry().inc("stream.rows", len(lowered), stage="ft")
         if profile is not None:
-            profile.add("ft", len(lowered), time.perf_counter() - tick)
+            profile.add("ft", len(lowered), sp.seconds)
         yield lowered
 
 
@@ -803,15 +814,26 @@ def optimize_stream(
         def rows_from_input() -> Iterator[_Row]:
             nonlocal register, name
             for table in chunks:
-                tick = time.perf_counter() if profile is not None else 0.0
+                # The timing straddles ``yield from`` (consumer pull time
+                # included, matching the materialized pass), so the span
+                # is recorded post-hoc rather than as a context manager —
+                # a live span across a yield would misattribute nesting.
+                tick = time.perf_counter()
                 register = table.qubit_names
                 name = table.name
                 yield from _rows_of_table(table)
+                seconds = time.perf_counter() - tick
+                record_span(
+                    "stream.peephole-ingest",
+                    seconds,
+                    metric="stream.stage.seconds",
+                    stage="peephole-ingest",
+                )
+                _obs_registry().inc(
+                    "stream.rows", len(table), stage="peephole-ingest"
+                )
                 if profile is not None:
-                    profile.add(
-                        "peephole-ingest", len(table),
-                        time.perf_counter() - tick,
-                    )
+                    profile.add("peephole-ingest", len(table), seconds)
 
         source_rows: Iterator[_Row] = rows_from_input()
         spill_path: Path | None = None
@@ -1124,23 +1146,31 @@ def estimate_stream(
         with ops_path.open("wb") as ops_file, \
                 kinds_path.open("wb") as kinds_file:
             for table in chunks:
-                tick = time.perf_counter() if profile is not None else 0.0
-                num_qubits = table.num_qubits
-                op_count += len(table)
-                name = table.name
-                accumulator.update(table)
-                o0, o1 = table.operand_pairs()
-                np.save(ops_file, table.kind, allow_pickle=False)
-                np.save(ops_file, o0.astype(np.int64, copy=False),
-                        allow_pickle=False)
-                np.save(ops_file, o1.astype(np.int64, copy=False),
-                        allow_pickle=False)
-                kinds_file.write(np.ascontiguousarray(table.kind).tobytes())
-                chunk_rows.append(len(table))
-                if profile is not None:
-                    profile.add(
-                        "ingest", len(table), time.perf_counter() - tick
+                with obs_span(
+                    "stream.ingest",
+                    metric="stream.stage.seconds",
+                    stage="ingest",
+                ) as sp:
+                    num_qubits = table.num_qubits
+                    op_count += len(table)
+                    name = table.name
+                    accumulator.update(table)
+                    o0, o1 = table.operand_pairs()
+                    np.save(ops_file, table.kind, allow_pickle=False)
+                    np.save(ops_file, o0.astype(np.int64, copy=False),
+                            allow_pickle=False)
+                    np.save(ops_file, o1.astype(np.int64, copy=False),
+                            allow_pickle=False)
+                    kinds_file.write(
+                        np.ascontiguousarray(table.kind).tobytes()
                     )
+                    chunk_rows.append(len(table))
+                    sp.annotate(rows=len(table))
+                _obs_registry().inc(
+                    "stream.rows", len(table), stage="ingest"
+                )
+                if profile is not None:
+                    profile.add("ingest", len(table), sp.seconds)
         iig = accumulator.finish(num_qubits)
         shim = _StreamCircuit(num_qubits, op_count, name)
         zones = pipeline._zones_stage(shim, iig)
@@ -1162,51 +1192,56 @@ def estimate_stream(
         with ops_path.open("rb") as ops_file, \
                 preds_path.open("wb") as preds_file:
             for rows in chunk_rows:
-                tick = time.perf_counter() if profile is not None else 0.0
-                codes_arr = np.load(ops_file, allow_pickle=False)
-                o0 = np.load(ops_file, allow_pickle=False)
-                o1 = np.load(ops_file, allow_pickle=False)
-                delays = lut[codes_arr]
-                if delays.size and float(delays.min()) < 0:
-                    offender = int(np.argmax(delays < 0))
-                    bad = KINDS_BY_CODE[int(codes_arr[offender])]
-                    raise EstimationError(
-                        f"gate kind {bad.value!r} is not an FT operation; "
-                        "run synthesize_ft() before estimating"
-                    )
-                ops_a = o0.tolist()
-                ops_b = o1.tolist()
-                gate_delays = delays.tolist()
-                best_pred = np.empty(rows, dtype=np.int64)
-                for index, qubit_a in enumerate(ops_a):
-                    best = qubit_dist[qubit_a]
-                    pred = qubit_last[qubit_a] if best > 0.0 else -1
-                    if best <= 0.0:
-                        best = 0.0
-                        pred = -1
-                    qubit_b = ops_b[index]
-                    if qubit_b >= 0:
-                        chain = qubit_dist[qubit_b]
-                        if chain > best:
-                            best = chain
-                            pred = qubit_last[qubit_b]
-                    total = best + gate_delays[index]
-                    best_pred[index] = pred
-                    node = base + index
-                    qubit_dist[qubit_a] = total
-                    qubit_last[qubit_a] = node
-                    if qubit_b >= 0:
-                        qubit_dist[qubit_b] = total
-                        qubit_last[qubit_b] = node
-                    if total > overall_best:
-                        overall_best = total
-                        overall_last = node
-                preds_file.write(best_pred.tobytes())
+                with obs_span(
+                    "stream.critical",
+                    metric="stream.stage.seconds",
+                    stage="critical",
+                ) as sp:
+                    codes_arr = np.load(ops_file, allow_pickle=False)
+                    o0 = np.load(ops_file, allow_pickle=False)
+                    o1 = np.load(ops_file, allow_pickle=False)
+                    delays = lut[codes_arr]
+                    if delays.size and float(delays.min()) < 0:
+                        offender = int(np.argmax(delays < 0))
+                        bad = KINDS_BY_CODE[int(codes_arr[offender])]
+                        raise EstimationError(
+                            f"gate kind {bad.value!r} is not an FT "
+                            "operation; run synthesize_ft() before "
+                            "estimating"
+                        )
+                    ops_a = o0.tolist()
+                    ops_b = o1.tolist()
+                    gate_delays = delays.tolist()
+                    best_pred = np.empty(rows, dtype=np.int64)
+                    for index, qubit_a in enumerate(ops_a):
+                        best = qubit_dist[qubit_a]
+                        pred = qubit_last[qubit_a] if best > 0.0 else -1
+                        if best <= 0.0:
+                            best = 0.0
+                            pred = -1
+                        qubit_b = ops_b[index]
+                        if qubit_b >= 0:
+                            chain = qubit_dist[qubit_b]
+                            if chain > best:
+                                best = chain
+                                pred = qubit_last[qubit_b]
+                        total = best + gate_delays[index]
+                        best_pred[index] = pred
+                        node = base + index
+                        qubit_dist[qubit_a] = total
+                        qubit_last[qubit_a] = node
+                        if qubit_b >= 0:
+                            qubit_dist[qubit_b] = total
+                            qubit_last[qubit_b] = node
+                        if total > overall_best:
+                            overall_best = total
+                            overall_last = node
+                    preds_file.write(best_pred.tobytes())
+                    sp.annotate(rows=rows)
                 base += rows
+                _obs_registry().inc("stream.rows", rows, stage="critical")
                 if profile is not None:
-                    profile.add(
-                        "critical", rows, time.perf_counter() - tick
-                    )
+                    profile.add("critical", rows, sp.seconds)
         # Backtrack through the spilled predecessor/kind columns.
         path: list[int] = []
         if op_count:

@@ -417,6 +417,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "a long-lived daemon's footprint bounded)"
         ),
     )
+    serve.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help=(
+            "admission cap on queued jobs: past it, submits are "
+            "rejected with a retry_after hint (default: unbounded)"
+        ),
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit one request to a running daemon"
@@ -483,6 +492,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     add_socket_option(result)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="daemon telemetry: latency histograms + cache/queue counters",
+        description=(
+            "Query a running daemon's metrics registry: per-stage "
+            "latency histograms (p50/p90/p99), cache and store "
+            "hit/miss/eviction counters, queue depth, coalesce and "
+            "rejection counts."
+        ),
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    add_socket_option(stats)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="tail the daemon's recent trace spans",
+        description=(
+            "Print the newest spans from the daemon's trace ring "
+            "buffer: one line per timed region (pipeline stage, mapper "
+            "stage, job) with wall time and labels."
+        ),
+    )
+    trace.add_argument(
+        "-n", "--limit",
+        type=int,
+        default=20,
+        help="number of spans to show (default 20)",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    add_socket_option(trace)
     return parser
 
 
@@ -619,6 +663,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         Job(spec=spec, backend="qspr", params=params, tag="qspr"),
         Job(spec=spec, backend="leqa", params=params, tag="leqa"),
     ]
+    obs_before = _registry_snapshot()
     outcomes = runner.run(jobs)
     for point in outcomes:
         if not point.ok:
@@ -653,14 +698,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.profile:
         from .qspr.mapper import MAPPER_STAGES
 
+        # Stage walls come from the unified obs registry (snapshot
+        # delta over this run), the same spans that populate
+        # MappingResult.stage_seconds — one source of truth.
+        obs_after = _registry_snapshot()
         print()
         print(f"scheduler engine   {getattr(mapped, 'engine', 'array')}")
         print(f"{'stage':<12} {'wall (s)':>10}")
         print("-" * 23)
         for stage in MAPPER_STAGES:
-            wall = mapped.stage_seconds.get(stage)
-            if wall is not None:
-                print(f"{stage:<12} {wall:>10.3f}")
+            wall = _histogram_sum_delta(
+                obs_before, obs_after, "mapper.stage.seconds", stage
+            )
+            if not wall:
+                wall = mapped.stage_seconds.get(stage, 0.0)
+            print(f"{stage:<12} {wall:>10.3f}")
         print(f"{'estimate':<12} {estimated.elapsed_seconds:>10.3f}")
     return 0
 
@@ -681,6 +733,42 @@ def _store_stats_payload(store: "object | None") -> dict | None:
     return {"root": str(store.root), **store.stats().as_dict()}
 
 
+def _registry_snapshot() -> dict:
+    """Snapshot of the process-wide obs registry (delta bookend)."""
+    from . import obs
+
+    return obs.default_registry().snapshot()
+
+
+def _counter_delta(before: dict, after: dict, name: str, **labels) -> int:
+    """Counter growth of one series between two registry snapshots.
+
+    The unified-registry read used by ``sweep --cache-stats`` and
+    ``compare --profile``: both tiers of the cache count into the same
+    registry, so a delta over the command's run can never drift from
+    what actually happened during it.
+    """
+    key = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return int(
+        after.get("counters", {}).get(name, {}).get(key, 0.0)
+        - before.get("counters", {}).get(name, {}).get(key, 0.0)
+    )
+
+
+def _histogram_sum_delta(
+    before: dict, after: dict, name: str, stage: str
+) -> float:
+    """Wall seconds added to every ``stage=...`` series of a histogram."""
+    a = after.get("histograms", {}).get(name, {})
+    b = before.get("histograms", {}).get(name, {})
+    wanted = f"stage={stage}"
+    total = 0.0
+    for key, hist in a.items():
+        if wanted in key.split(","):
+            total += hist.get("sum", 0.0) - b.get(key, {}).get("sum", 0.0)
+    return total
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         sizes = [int(token) for token in args.sizes.split(",") if token]
@@ -695,6 +783,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         store=_store_from_args(args),
     )
+    obs_before = _registry_snapshot()
     started = time.perf_counter()
     results = sweep_fabric_sizes(
         args.circuit,
@@ -806,17 +895,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache_stats:
         from .engine.cache import STAGE_NAMES
 
+        # Counts come from the unified obs registry (snapshot delta over
+        # this sweep), the same stream both cache tiers increment — the
+        # table cannot drift from the store-tier counters.
+        obs_after = _registry_snapshot()
         print(
             f"\n{'stage':<10} {'hits':>6} {'misses':>8} "
             f"{'store':>7} {'evicted':>9}"
         )
         print("-" * 44)
         for stage in STAGE_NAMES:
+            hits, misses, store_hits, evicted = (
+                _counter_delta(
+                    obs_before, obs_after, f"cache.{kind}", stage=stage
+                )
+                for kind in ("hit", "miss", "store_hit", "eviction")
+            )
             print(
-                f"{stage:<10} {stats.hit_count(stage):>6} "
-                f"{stats.miss_count(stage):>8} "
-                f"{stats.store_hit_count(stage):>7} "
-                f"{stats.eviction_count(stage):>9}"
+                f"{stage:<10} {hits:>6} {misses:>8} "
+                f"{store_hits:>7} {evicted:>9}"
             )
     return 1 if failures else 0
 
@@ -963,12 +1060,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=_store_from_args(args),
         max_entries=args.max_entries,
+        max_depth=args.max_depth,
     )
     store_note = f", store {args.store}" if args.store else ""
     print(
         f"leqa serve: listening on {server.socket_path} "
         f"({args.workers} workers{store_note}); "
-        "submit with 'leqa submit', stop with a 'shutdown' request"
+        "submit with 'leqa submit', inspect with 'leqa stats' / "
+        "'leqa trace', stop with a 'shutdown' request"
     )
     try:
         server.serve_forever()
@@ -1049,6 +1148,102 @@ def _cmd_result(args: argparse.Namespace) -> int:
     return 0 if snapshot["state"] == "done" else 1
 
 
+def _format_span_seconds(seconds: float) -> str:
+    """Human wall-time rendering with a unit that keeps digits visible."""
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = _service_client(args).stats()
+    stats.pop("ok", None)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    rejected = stats.get("rejected", {})
+    print(f"workers            {stats['workers']}")
+    print(f"queue depth        {stats['queue_depth']}")
+    print(f"running            {stats.get('running', 0)}")
+    print(f"draining           {stats.get('draining', False)}")
+    max_depth = stats.get("max_depth")
+    print(f"max depth          {max_depth if max_depth else 'unbounded'}")
+    print(f"coalesced          {stats['coalesced']}")
+    print(
+        "rejected           "
+        f"full={rejected.get('full', 0)} "
+        f"draining={rejected.get('draining', 0)}"
+    )
+    states = ", ".join(f"{k}={v}" for k, v in stats["jobs"].items())
+    print(f"jobs               {states}")
+    cache = stats.get("cache", {})
+    touched = {
+        stage: row
+        for stage, row in cache.items()
+        if any(row.values())
+    }
+    if touched:
+        print(
+            f"\n{'cache stage':<12} {'hits':>6} {'misses':>8} "
+            f"{'store':>7} {'evicted':>9}"
+        )
+        print("-" * 46)
+        for stage, row in touched.items():
+            print(
+                f"{stage:<12} {row['hits']:>6} {row['misses']:>8} "
+                f"{row['store_hits']:>7} {row['evictions']:>9}"
+            )
+    if "store" in stats:
+        store = stats["store"]
+        print(
+            f"\nstore              {store['root']} "
+            f"(hits {store['hits']}, misses {store['misses']}, "
+            f"writes {store['writes']}, evicted {store['evicted']})"
+        )
+    histograms = stats.get("metrics", {}).get("histograms", {})
+    if histograms:
+        print(
+            f"\n{'latency histogram':<38} {'count':>7} "
+            f"{'p50':>11} {'p90':>11} {'p99':>11}"
+        )
+        print("-" * 82)
+        for name in sorted(histograms):
+            for labels, hist in sorted(histograms[name].items()):
+                series = f"{name}{{{labels}}}" if labels else name
+                print(
+                    f"{series:<38} {hist['count']:>7} "
+                    f"{_format_span_seconds(hist['p50']):>11} "
+                    f"{_format_span_seconds(hist['p90']):>11} "
+                    f"{_format_span_seconds(hist['p99']):>11}"
+                )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spans = _service_client(args).trace(limit=args.limit)
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    if not spans:
+        print("no spans recorded yet (submit some work first)")
+        return 0
+    for span in spans:
+        stamp = time.strftime(
+            "%H:%M:%S", time.localtime(span.get("started_at", 0.0))
+        )
+        indent = "  " * int(span.get("depth", 0))
+        labels = span.get("labels", {})
+        label_text = " ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        print(
+            f"{stamp} {_format_span_seconds(span['seconds'])} "
+            f"{indent}{span['name']}"
+            + (f"  [{label_text}]" if label_text else "")
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_arg_parser()
@@ -1065,6 +1260,8 @@ def main(argv: list[str] | None = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "result": _cmd_result,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -55,6 +55,7 @@ from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate, GateKind
 from ..exceptions import EstimationError
 from ..fabric.params import PhysicalParams
+from ..obs import span as obs_span
 from ..qodg.critical_path import critical_path
 from ..qodg.graph import QODG
 from ..qodg.iig import IIG, build_iig
@@ -392,16 +393,30 @@ class StagedPipeline:
     # -- stage access -------------------------------------------------------
 
     def _stage(self, name: str, key: Hashable, builder):
+        # One span per actual stage *build*: cache hits skip the span,
+        # so ``pipeline.stage.seconds`` measures the analytic work, not
+        # dict lookups.
+        def timed_build():
+            with obs_span(
+                f"pipeline.{name}",
+                metric="pipeline.stage.seconds",
+                stage=name,
+            ):
+                return builder()
+
         if self._cache is None:
-            return builder()
-        return self._cache.stage(name, key, builder)
+            return timed_build()
+        return self._cache.stage(name, key, timed_build)
 
     def _iig_stage(self, circuit: Circuit, iig: IIG | None) -> IIG:
         if iig is not None:
             return iig
         if self._cache is not None:
             return self._cache.iig(circuit)
-        return build_iig(circuit)
+        with obs_span(
+            "pipeline.iig", metric="pipeline.stage.seconds", stage="iig"
+        ):
+            return build_iig(circuit)
 
     def _zones_stage(self, circuit: Circuit, iig: IIG | None) -> ZoneArrays:
         key = (circuit.content_fingerprint(), "arrays")
@@ -560,10 +575,15 @@ class StagedPipeline:
         # materialized CriticalPathResult holds the whole gate path —
         # retaining one per point would grow a session cache forever for
         # entries that are never looked up again.
-        if qodg is not None:
-            result = critical_path(qodg, delay)
-        else:
-            result = sweep_critical_path(circuit, delay)
+        with obs_span(
+            "pipeline.critical",
+            metric="pipeline.stage.seconds",
+            stage="critical",
+        ):
+            if qodg is not None:
+                result = critical_path(qodg, delay)
+            else:
+                result = sweep_critical_path(circuit, delay)
         elapsed = time.perf_counter() - started
         return LatencyEstimate(
             latency=result.length,

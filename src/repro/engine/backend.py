@@ -141,9 +141,20 @@ class LEQABackend:
         """
         import time
 
+        from ..obs import span as obs_span
+
+        def timed_estimate(iig: object | None = None) -> LatencyEstimate:
+            with obs_span(
+                "pipeline.estimate",
+                metric="pipeline.stage.seconds",
+                stage="estimate",
+                backend=self.name,
+            ):
+                return self._estimator.estimate(circuit, iig=iig)
+
         started = time.perf_counter()
         if self._cache is None:
-            estimate: LatencyEstimate = self._estimator.estimate(circuit)
+            estimate: LatencyEstimate = timed_estimate()
         else:
             from .cache import params_fingerprint
 
@@ -155,9 +166,7 @@ class LEQABackend:
             estimate = self._cache.stage(
                 "estimate",
                 key,
-                lambda: self._estimator.estimate(
-                    circuit, iig=self._cache.iig(circuit)
-                ),
+                lambda: timed_estimate(iig=self._cache.iig(circuit)),
             )
         # Report the wall this run actually spent: on a miss that is the
         # build (plus lookup noise); on a memory/store hit it is the

@@ -80,6 +80,7 @@ from ..circuits.circuit import Circuit
 from ..core.coverage import expected_coverage_surfaces
 from ..core.presence import PresenceZones, compute_zones
 from ..fabric.params import PhysicalParams
+from ..obs import default_registry as _obs_registry
 from ..qodg.iig import IIG, build_iig
 from .spec import CircuitSpec
 
@@ -244,6 +245,7 @@ class ArtifactCache:
             # takes a fresh lock).
             self._key_locks.pop(victim, None)
             self._evictions[victim[0]] += 1
+            _obs_registry().inc("cache.eviction", stage=victim[0])
 
     def _get_or_build(
         self, stage: str, key: Hashable, builder: Callable[[], _T]
@@ -267,6 +269,7 @@ class ArtifactCache:
                     if self._max_entries is not None:
                         del self._store[slot]  # refresh LRU recency
                         self._store[slot] = value
+                    _obs_registry().inc("cache.hit", stage=stage)
                     return value  # type: ignore[return-value]
             if self._disk is not None:
                 value, from_store = self._disk.fetch_or_build(
@@ -278,11 +281,16 @@ class ArtifactCache:
                         self._store_hits[stage] += 1
                     else:
                         self._misses[stage] += 1
+                _obs_registry().inc(
+                    "cache.store_hit" if from_store else "cache.miss",
+                    stage=stage,
+                )
                 return value  # type: ignore[return-value]
             value = builder()
             with self._lock:
                 self._insert(slot, value)
                 self._misses[stage] += 1
+            _obs_registry().inc("cache.miss", stage=stage)
             return value
 
     # -- generic stage access ----------------------------------------------

@@ -91,3 +91,26 @@ class ServiceError(ReproError):
     Examples include querying an unknown job id, submitting a malformed
     request spec, or a client protocol violation on the service socket.
     """
+
+
+class QueueFullError(ServiceError):
+    """Raised when a submit is rejected by queue admission control.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested client back-off in seconds, estimated from the queue's
+        observed job service rate and current depth.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QueueDrainingError(ServiceError):
+    """Raised when a submit arrives while the queue is draining.
+
+    Unlike :class:`QueueFullError` there is no point retrying against
+    the same daemon — it is on its way down.
+    """

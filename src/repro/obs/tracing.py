@@ -1,0 +1,298 @@
+"""Structured trace spans: nested timing with labels, ring buffer, export.
+
+A :class:`Span` is one timed region with free-form labels (stage,
+backend, engine, workload ...).  Spans **always** time themselves with
+``time.perf_counter`` and feed their histogram metric — that path is a
+handful of dict operations and is the permanently-on part of the
+telemetry layer.  Everything heavier is gated behind :func:`enabled`:
+
+* nesting bookkeeping (a thread-local stack giving each span a
+  ``depth`` and ``parent`` name),
+* the in-process **ring buffer** of recent span records that the
+  daemon's ``trace`` verb and ``leqa trace`` tail,
+* optional RSS sampling from ``/proc/self/statm``
+  (``REPRO_OBS_RSS=1``),
+* the JSON-line **file exporter** (``REPRO_OBS_EXPORT=/path``), one
+  record per line, flushed as it goes so a crashed process keeps its
+  trail.
+
+Tracing turns on via :func:`enable`, the ``REPRO_OBS=1`` environment
+variable, or implicitly when an export path is configured; the daemon
+enables it at construction so ``leqa serve`` is observable out of the
+box.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import IO
+
+from .metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "DEFAULT_RING_SPANS",
+    "ENABLE_ENV",
+    "EXPORT_ENV",
+    "RSS_ENV",
+    "Span",
+    "span",
+    "record_span",
+    "enable",
+    "disable",
+    "enabled",
+    "recent_spans",
+    "clear_spans",
+    "set_export_path",
+]
+
+ENABLE_ENV = "REPRO_OBS"
+EXPORT_ENV = "REPRO_OBS_EXPORT"
+RSS_ENV = "REPRO_OBS_RSS"
+
+#: Capacity of the recent-span ring buffer.
+DEFAULT_RING_SPANS = 2048
+
+_PAGE_SIZE = 4096
+
+
+def _rss_bytes() -> int | None:
+    """Resident set size via /proc (None off Linux — never raises)."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+class _Recorder:
+    """Module-level trace state: enable flag, ring, exporter handle."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.ring: deque[dict] = deque(maxlen=DEFAULT_RING_SPANS)
+        self.flag = os.environ.get(ENABLE_ENV, "") not in ("", "0")
+        self.export_path: str | None = os.environ.get(EXPORT_ENV) or None
+        self.export_handle: IO[str] | None = None
+        self.sample_rss = os.environ.get(RSS_ENV, "") not in ("", "0")
+
+    @property
+    def active(self) -> bool:
+        return self.flag or self.export_path is not None
+
+    def record(self, record: dict) -> None:
+        with self.lock:
+            self.ring.append(record)
+            if self.export_path is not None:
+                if self.export_handle is None:
+                    try:
+                        self.export_handle = open(
+                            self.export_path, "a", encoding="utf-8"
+                        )
+                    except OSError:
+                        # Unwritable path: drop the exporter, keep the
+                        # ring — telemetry must never break the host.
+                        self.export_path = None
+                        return
+                self.export_handle.write(json.dumps(record) + "\n")
+                self.export_handle.flush()
+
+    def close_export(self) -> None:
+        with self.lock:
+            if self.export_handle is not None:
+                try:
+                    self.export_handle.close()
+                except OSError:
+                    pass
+                self.export_handle = None
+
+
+_RECORDER = _Recorder()
+_STACK = threading.local()
+
+
+def _stack() -> list[str]:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+def enabled() -> bool:
+    """Whether span recording (ring/export/nesting) is on."""
+    return _RECORDER.active
+
+
+def enable(export: str | None = None) -> None:
+    """Turn span recording on; optionally (re)point the JSON-line export."""
+    _RECORDER.flag = True
+    if export is not None:
+        set_export_path(export)
+
+
+def disable() -> None:
+    """Turn span recording off and close any open export file."""
+    _RECORDER.flag = False
+    _RECORDER.export_path = None
+    _RECORDER.close_export()
+
+
+def set_export_path(path: str | None) -> None:
+    """Point (or clear) the JSON-line exporter; closes the old handle."""
+    _RECORDER.close_export()
+    _RECORDER.export_path = str(path) if path else None
+
+
+def recent_spans(limit: int | None = None) -> list[dict]:
+    """The newest span records, oldest first (at most ``limit``)."""
+    with _RECORDER.lock:
+        records = list(_RECORDER.ring)
+    if limit is not None and limit >= 0:
+        records = records[-limit:]
+    return records
+
+
+def clear_spans() -> None:
+    """Empty the ring buffer (test isolation helper)."""
+    with _RECORDER.lock:
+        _RECORDER.ring.clear()
+
+
+class Span:
+    """One timed region.  Use via :func:`span` as a context manager.
+
+    After ``__exit__``, ``seconds`` holds the monotonic wall time of
+    the region — call sites that need the number (``stage_seconds``,
+    ``StreamProfile``) read it straight off the span.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "metric",
+        "seconds",
+        "started_at",
+        "depth",
+        "parent",
+        "rss_bytes",
+        "annotations",
+        "_registry",
+        "_t0",
+        "_pushed",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        metric: str | None,
+        labels: dict[str, object],
+        registry: MetricsRegistry,
+    ) -> None:
+        self.name = name
+        self.metric = metric
+        self.labels = labels
+        self.seconds = 0.0
+        self.started_at = 0.0
+        self.depth = 0
+        self.parent: str | None = None
+        self.rss_bytes: int | None = None
+        self.annotations: dict[str, object] = {}
+        self._registry = registry
+        self._t0 = 0.0
+        self._pushed = False
+
+    def annotate(self, **fields: object) -> "Span":
+        """Attach record-only fields mid-span (e.g. row counts known
+        late).  Annotations land in the trace record, NOT in the metric
+        labels — free-form values must never mint histogram series."""
+        self.annotations.update(fields)
+        return self
+
+    def __enter__(self) -> "Span":
+        if _RECORDER.active:
+            stack = _stack()
+            self.parent = stack[-1] if stack else None
+            self.depth = len(stack)
+            stack.append(self.name)
+            self._pushed = True
+            self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.seconds = time.perf_counter() - self._t0
+        if self.metric is not None:
+            self._registry.observe(self.metric, self.seconds, **self.labels)
+        if self._pushed:
+            stack = _stack()
+            if stack and stack[-1] == self.name:
+                stack.pop()
+            self._pushed = False
+            if _RECORDER.sample_rss:
+                self.rss_bytes = _rss_bytes()
+            _RECORDER.record(self.as_record())
+
+    def as_record(self) -> dict:
+        """JSON-ready span record (what the ring and exporter hold)."""
+        record: dict[str, object] = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "started_at": self.started_at,
+            "depth": self.depth,
+            "labels": {str(k): str(v) for k, v in self.labels.items()},
+        }
+        if self.annotations:
+            record["annotations"] = {
+                str(k): str(v) for k, v in self.annotations.items()
+            }
+        if self.parent is not None:
+            record["parent"] = self.parent
+        if self.rss_bytes is not None:
+            record["rss_bytes"] = self.rss_bytes
+        return record
+
+
+def span(
+    name: str,
+    metric: str | None = None,
+    registry: MetricsRegistry | None = None,
+    **labels: object,
+) -> Span:
+    """Open a span; ``with span("pipeline.zones", metric=..., stage=...)``."""
+    return Span(
+        name,
+        metric,
+        dict(labels),
+        registry if registry is not None else default_registry(),
+    )
+
+
+def record_span(
+    name: str,
+    seconds: float,
+    metric: str | None = None,
+    registry: MetricsRegistry | None = None,
+    **labels: object,
+) -> None:
+    """Record an already-measured region as a span.
+
+    For regions whose timing straddles generator ``yield`` boundaries
+    (the streaming front-end), where a context manager would charge
+    consumer time to the producer's nesting scope.
+    """
+    reg = registry if registry is not None else default_registry()
+    if metric is not None:
+        reg.observe(metric, seconds, **labels)
+    if _RECORDER.active:
+        _RECORDER.record(
+            {
+                "name": name,
+                "seconds": seconds,
+                "started_at": time.time(),
+                "depth": len(_stack()),
+                "labels": {str(k): str(v) for k, v in labels.items()},
+            }
+        )

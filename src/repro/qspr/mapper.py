@@ -36,6 +36,7 @@ from ..circuits.circuit import Circuit
 from ..exceptions import MappingError
 from ..fabric.params import DEFAULT_PARAMS, PhysicalParams
 from ..fabric.tqa import TQA
+from ..obs import span as obs_span
 from ..qodg.iig import IIG, build_iig
 from .placement import make_placement
 from .scheduling import (
@@ -179,36 +180,48 @@ class QSPRMapper:
         stage_seconds: dict[str, float] = {}
         cache = self._cache
 
-        mark = time.perf_counter()
-        if cache is not None:
-            # The placement stage below is keyed on circuit content, so it
-            # must only ever build from the content-keyed IIG — a
-            # caller-supplied graph (however plausible) could poison the
-            # cache for every later run of the same circuit.
-            iig = cache.iig(circuit)
-        elif iig is None:
-            iig = build_iig(circuit)
-        elif iig.num_qubits != circuit.num_qubits:
-            raise MappingError(
-                f"prebuilt IIG has {iig.num_qubits} qubits but the circuit "
-                f"has {circuit.num_qubits}; it belongs to a different circuit"
+        # One span per mapper stage; ``stage_seconds`` is read back off
+        # the spans so the legacy per-result timings and the registry's
+        # ``mapper.stage.seconds`` histogram can never disagree.
+        def stage_span(stage: str):
+            return obs_span(
+                f"mapper.{stage}",
+                metric="mapper.stage.seconds",
+                stage=stage,
+                engine=self._engine,
             )
-        stage_seconds["iig"] = time.perf_counter() - mark
+
+        with stage_span("iig") as sp:
+            if cache is not None:
+                # The placement stage below is keyed on circuit content,
+                # so it must only ever build from the content-keyed IIG —
+                # a caller-supplied graph (however plausible) could poison
+                # the cache for every later run of the same circuit.
+                iig = cache.iig(circuit)
+            elif iig is None:
+                iig = build_iig(circuit)
+            elif iig.num_qubits != circuit.num_qubits:
+                raise MappingError(
+                    f"prebuilt IIG has {iig.num_qubits} qubits but the "
+                    f"circuit has {circuit.num_qubits}; it belongs to a "
+                    "different circuit"
+                )
+        stage_seconds["iig"] = sp.seconds
 
         params = self._params
         delays = params.delays.by_kind()
-        mark = time.perf_counter()
-        compiled = self._compiled(circuit, delays, cache)
-        stage_seconds["qodg"] = time.perf_counter() - mark
+        with stage_span("qodg") as sp:
+            compiled = self._compiled(circuit, delays, cache)
+        stage_seconds["qodg"] = sp.seconds
 
         tqa = TQA(params.fabric)
-        mark = time.perf_counter()
-        placement = self._initial_placement(circuit, iig, tqa, cache)
-        stage_seconds["placement"] = time.perf_counter() - mark
+        with stage_span("placement") as sp:
+            placement = self._initial_placement(circuit, iig, tqa, cache)
+        stage_seconds["placement"] = sp.seconds
 
-        mark = time.perf_counter()
-        schedule = self._schedule(circuit, placement, compiled, cache)
-        stage_seconds["schedule"] = time.perf_counter() - mark
+        with stage_span("schedule") as sp:
+            schedule = self._schedule(circuit, placement, compiled, cache)
+        stage_seconds["schedule"] = sp.seconds
 
         elapsed = time.perf_counter() - started
         return MappingResult(

@@ -16,6 +16,11 @@ With a persistent :class:`~repro.store.ArtifactStore` attached, the
 daemon's cache warm-starts from whatever earlier processes built and
 keeps publishing for the next one — many clients, one hot store, one
 warm cache.
+
+The daemon is observable through :mod:`repro.obs`: queue depth gauges,
+coalesce/reject counters and per-job end-to-end latency histograms all
+land in the shared metrics registry, served back by the ``stats`` and
+``trace`` protocol verbs (``leqa stats`` / ``leqa trace``).
 """
 
 from .daemon import DEFAULT_SOCKET, EstimationServer, ServiceClient

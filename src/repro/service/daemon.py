@@ -14,15 +14,23 @@ op          request fields → response fields
 ``status``  ``job_id`` → the job snapshot
 ``result``  ``job_id``, ``timeout`` → the terminal job snapshot
 ``jobs``    → ``{"jobs": [...]}`` compact summaries
-``stats``   → queue/cache/store counters (machine-readable JSON)
-``shutdown``→ ``{"ok": true}``, then the server exits
+``stats``   → queue/cache/store counters + the full metrics snapshot
+``trace``   ``limit`` → ``{"spans": [...]}`` newest trace spans
+``shutdown``→ ``{"ok": true}``, then the server drains and exits
 ========== ===========================================================
 
 Every response carries ``"ok"``; failures carry ``"error"`` instead of
-payload fields.  The protocol is deliberately line-oriented and
-schema-free so shell clients (``nc -U``, ``socat``) work as well as the
-bundled :class:`ServiceClient` and the ``leqa submit/status/result``
-CLI verbs.
+payload fields (an admission rejection additionally carries
+``"rejected"`` — ``"full"`` or ``"draining"`` — and, when full, a
+``"retry_after"`` back-off hint in seconds).  The protocol is
+deliberately line-oriented and schema-free so shell clients (``nc -U``,
+``socat``) work as well as the bundled :class:`ServiceClient` and the
+``leqa submit/status/result`` CLI verbs.
+
+**Shutdown is a graceful drain**: a ``shutdown`` request immediately
+stops admission (new submits are rejected with ``draining``), the
+socket stops accepting, and every already-admitted job runs to
+completion (bounded by ``drain_timeout``) before the workers stop.
 """
 
 from __future__ import annotations
@@ -34,7 +42,8 @@ import socketserver
 import threading
 from pathlib import Path
 
-from ..exceptions import ServiceError
+from .. import obs
+from ..exceptions import QueueDrainingError, QueueFullError, ServiceError
 from .jobs import JobQueue
 
 __all__ = ["EstimationServer", "ServiceClient", "DEFAULT_SOCKET"]
@@ -90,6 +99,10 @@ class _ThreadingUnixServer(
 ):
     daemon_threads = True
     allow_reuse_address = True
+    # socketserver's default listen backlog of 5 drops simultaneous
+    # connects (EAGAIN) under fan-in; deep enough for a burst of
+    # clients far beyond the load-test's 50.
+    request_queue_size = 128
 
 
 class EstimationServer:
@@ -102,7 +115,15 @@ class EstimationServer:
         file from a dead daemon is replaced.
     queue:
         The :class:`JobQueue` to serve; constructed from
-        ``workers``/``store``/``max_entries`` when omitted.
+        ``workers``/``store``/``max_entries``/``max_depth`` when
+        omitted.
+    max_depth:
+        Admission cap forwarded to the constructed queue (see
+        :class:`JobQueue`); ignored when ``queue`` is passed.
+    drain_timeout:
+        Upper bound in seconds on the graceful drain at shutdown;
+        jobs still unfinished when it elapses stay in their current
+        state and the workers are stopped drain-free.
     """
 
     def __init__(
@@ -112,11 +133,19 @@ class EstimationServer:
         workers: int = 2,
         store: "object | None" = None,
         max_entries: int | None = None,
+        max_depth: int | None = None,
+        drain_timeout: float = 30.0,
     ) -> None:
         self._socket_path = Path(socket_path)
+        self._drain_timeout = drain_timeout
         self._queue = queue if queue is not None else JobQueue(
-            workers=workers, store=store, max_entries=max_entries
+            workers=workers, store=store, max_entries=max_entries,
+            max_depth=max_depth,
         )
+        # A serving daemon is observable out of the box: span recording
+        # (ring buffer + optional exporter) costs microseconds per stage
+        # and is what the ``trace`` verb reads.
+        obs.enable()
         if self._socket_path.exists():
             # A live daemon answers ping; a dead one left a stale inode.
             try:
@@ -157,10 +186,24 @@ class EstimationServer:
             if op == "ping":
                 return {"ok": True, "pid": os.getpid()}
             if op == "submit":
-                job_id = self._queue.submit(
-                    request.get("spec") or {},
-                    priority=int(request.get("priority", 0)),
-                )
+                try:
+                    job_id = self._queue.submit(
+                        request.get("spec") or {},
+                        priority=int(request.get("priority", 0)),
+                    )
+                except QueueFullError as rejection:
+                    return {
+                        "ok": False,
+                        "error": str(rejection),
+                        "rejected": "full",
+                        "retry_after": rejection.retry_after,
+                    }
+                except QueueDrainingError as rejection:
+                    return {
+                        "ok": False,
+                        "error": str(rejection),
+                        "rejected": "draining",
+                    }
                 return {"ok": True, "job_id": job_id}
             if op == "status":
                 return {"ok": True, **self._queue.status(request.get("job_id"))}
@@ -174,8 +217,22 @@ class EstimationServer:
             if op == "jobs":
                 return {"ok": True, "jobs": self._queue.jobs()}
             if op == "stats":
-                return {"ok": True, **self._queue.stats()}
+                payload = self._queue.stats()
+                payload["metrics"] = obs.default_registry().snapshot()
+                return {"ok": True, **payload}
+            if op == "trace":
+                limit = request.get("limit")
+                return {
+                    "ok": True,
+                    "spans": obs.recent_spans(
+                        50 if limit is None else int(limit)
+                    ),
+                }
             if op == "shutdown":
+                # Graceful drain: stop admission *before* acknowledging,
+                # so no submit racing this request slips in after the
+                # client believes the daemon is going down.
+                self._queue.begin_drain()
                 self._shutdown_requested.set()
                 # Stop accepting from a helper thread: shutdown() blocks
                 # until serve_forever() returns, which must not happen on
@@ -201,8 +258,16 @@ class EstimationServer:
             self.close()
 
     def close(self) -> None:
-        """Stop the worker pool and remove the socket file."""
+        """Drain the queue, stop the worker pool, remove the socket file.
+
+        In-flight and queued jobs get up to ``drain_timeout`` seconds to
+        finish; the pool then stops either way.  Safe to call more than
+        once.
+        """
         self._server.server_close()
+        self._queue.drain(timeout=self._drain_timeout)
+        # drain() stops the pool on success; on timeout this stops it
+        # drain-free (running jobs still finish, queued ones stay put).
         self._queue.stop()
         self._socket_path.unlink(missing_ok=True)
 
@@ -276,9 +341,13 @@ class ServiceClient:
         return self.call({"op": "jobs"})["jobs"]
 
     def stats(self) -> dict:
-        """Queue/cache/store counters."""
+        """Queue/cache/store counters plus the metrics snapshot."""
         return self.call({"op": "stats"})
 
+    def trace(self, limit: int = 50) -> list[dict]:
+        """The daemon's newest trace spans, oldest first."""
+        return self.call({"op": "trace", "limit": limit})["spans"]
+
     def shutdown(self) -> None:
-        """Ask the daemon to exit."""
+        """Ask the daemon to drain and exit."""
         self.call({"op": "shutdown"})

@@ -37,8 +37,9 @@ from ..engine.cache import ArtifactCache
 from ..engine.backend import backend_names
 from ..engine.runner import Job, _run_job
 from ..engine.spec import CircuitSpec
-from ..exceptions import ServiceError
+from ..exceptions import QueueDrainingError, QueueFullError, ServiceError
 from ..fabric.params import DEFAULT_PARAMS, FabricSpec, PhysicalParams
+from ..obs import default_registry as _obs_registry
 from ..workloads import validate_source
 
 __all__ = ["JobRecord", "JobQueue", "normalize_request", "request_fingerprint"]
@@ -245,6 +246,13 @@ class JobQueue:
         running jobs are never dropped — so a daemon serving traffic
         for days does not accumulate specs and tracebacks without
         bound.  ``None`` disables pruning.
+    max_depth:
+        Admission cap on *queued* (not yet running) jobs.  A submit
+        that would push the backlog past the cap is rejected with
+        :class:`~repro.exceptions.QueueFullError` carrying a
+        ``retry_after`` hint; coalescing onto an existing job is always
+        admitted (it adds no work).  ``None`` (the default) keeps the
+        historical unbounded behaviour.
     """
 
     def __init__(
@@ -254,12 +262,17 @@ class JobQueue:
         store: "object | None" = None,
         max_entries: int | None = None,
         max_records: int | None = 10_000,
+        max_depth: int | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         if max_records is not None and max_records < 1:
             raise ServiceError(
                 f"max_records must be >= 1, got {max_records}"
+            )
+        if max_depth is not None and max_depth < 1:
+            raise ServiceError(
+                f"max_depth must be >= 1, got {max_depth}"
             )
         if cache is not None and store is not None:
             raise ServiceError(
@@ -273,13 +286,21 @@ class JobQueue:
         )
         self._worker_count = workers
         self._max_records = max_records
+        self._max_depth = max_depth
         self._cond = threading.Condition()
         self._heap: list[tuple[int, int, str]] = []
         self._jobs: dict[str, JobRecord] = {}
         self._inflight: dict[str, str] = {}  # fingerprint -> job id
         self._seq = 0
         self._coalesced = 0
+        self._queued = 0  # live queued count (the heap can hold stale entries)
+        self._running = 0
         self._stopping = False
+        self._draining = False
+        self._rejected = {"full": 0, "draining": 0}
+        # Observed service rate, feeding the retry_after estimate.
+        self._finished_jobs = 0
+        self._finished_seconds = 0.0
         self._threads: list[threading.Thread] = []
 
     # -- lifecycle ----------------------------------------------------------
@@ -314,6 +335,48 @@ class JobQueue:
             thread.join(timeout=30.0)
         self._threads.clear()
 
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_drain` has been called."""
+        with self._cond:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; queued and running jobs keep going.
+
+        Every submit after this point raises
+        :class:`~repro.exceptions.QueueDrainingError`.  Idempotent.
+        """
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: finish all admitted work, then stop workers.
+
+        Calls :meth:`begin_drain`, waits until no job is queued or
+        running, then :meth:`stop`\\ s the pool.  Returns ``True`` when
+        the backlog fully drained; ``False`` when ``timeout`` elapsed
+        first or no worker pool is running to drain a non-empty backlog
+        (the workers are left to finish in the ``True``-path only).
+        """
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queued or self._running:
+                if not self._threads:
+                    # Nothing will ever service the backlog: report the
+                    # failure instead of waiting forever.
+                    return False
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+        self.stop()
+        return True
+
     def __enter__(self) -> "JobQueue":
         self.start()
         return self
@@ -332,15 +395,33 @@ class JobQueue:
         A coalesced submit carrying a *higher* priority escalates the
         queued job, so "the same request, but urgent" still jumps the
         queue.
+
+        Raises
+        ------
+        QueueDrainingError
+            After :meth:`begin_drain`: the daemon is going down and
+            accepts no new work (not even coalesced duplicates — their
+            result may not be readable before the process exits).
+        QueueFullError
+            When ``max_depth`` queued jobs are already waiting; carries
+            a ``retry_after`` back-off estimated from the observed
+            service rate.
         """
         normalized = normalize_request(spec)
         fingerprint = request_fingerprint(normalized)
         with self._cond:
+            if self._draining:
+                self._rejected["draining"] += 1
+                _obs_registry().inc("service.rejected", reason="draining")
+                raise QueueDrainingError(
+                    "daemon is draining and no longer accepts submissions"
+                )
             existing = self._inflight.get(fingerprint)
             if existing is not None:
                 record = self._jobs[existing]
                 record.submits += 1
                 self._coalesced += 1
+                _obs_registry().inc("service.coalesced")
                 if int(priority) > record.priority and record.state == "queued":
                     # Escalate: push a higher-priority heap entry; the
                     # stale one is skipped at pop time (state check).
@@ -352,6 +433,19 @@ class JobQueue:
                     )
                     self._cond.notify()
                 return existing
+            if (
+                self._max_depth is not None
+                and self._queued >= self._max_depth
+            ):
+                retry_after = self._retry_after_locked()
+                self._rejected["full"] += 1
+                _obs_registry().inc("service.rejected", reason="full")
+                raise QueueFullError(
+                    f"queue is full ({self._queued} jobs queued, "
+                    f"max_depth={self._max_depth}); retry in "
+                    f"~{retry_after:.1f}s",
+                    retry_after=retry_after,
+                )
             self._seq += 1
             job_id = f"job-{self._seq:06d}"
             record = JobRecord(
@@ -363,8 +457,24 @@ class JobQueue:
             self._jobs[job_id] = record
             self._inflight[fingerprint] = job_id
             heapq.heappush(self._heap, (-int(priority), self._seq, job_id))
+            self._queued += 1
+            _obs_registry().inc("service.submitted")
+            _obs_registry().set_gauge("service.queue_depth", self._queued)
             self._cond.notify()
         return job_id
+
+    def _retry_after_locked(self) -> float:
+        """Back-off hint for a rejected submit (must run under the lock).
+
+        Time to clear the backlog at the observed per-job service rate
+        (1s per job before any job has finished), floored at 0.1s.
+        """
+        if self._finished_jobs:
+            per_job = self._finished_seconds / self._finished_jobs
+        else:
+            per_job = 1.0
+        backlog = self._queued + self._running
+        return max(0.1, per_job * backlog / self._worker_count)
 
     def status(self, job_id: str) -> dict:
         """Snapshot of one job's record.
@@ -430,7 +540,11 @@ class JobQueue:
                 "jobs": by_state,
                 "coalesced": self._coalesced,
                 "workers": self._worker_count,
-                "queue_depth": len(self._heap),
+                "queue_depth": self._queued,
+                "running": self._running,
+                "draining": self._draining,
+                "max_depth": self._max_depth,
+                "rejected": dict(self._rejected),
             }
         payload["cache"] = self._cache.stats().as_dict()
         store = self._cache.store
@@ -459,6 +573,12 @@ class JobQueue:
                     continue
                 record.state = "running"
                 record.started_at = time.time()
+                self._queued -= 1
+                self._running += 1
+                _obs_registry().set_gauge(
+                    "service.queue_depth", self._queued
+                )
+                _obs_registry().set_gauge("service.running", self._running)
                 return record
 
     def _worker_loop(self) -> None:
@@ -486,6 +606,15 @@ class JobQueue:
                 record.traceback = traceback
                 record.state = state
                 record.finished_at = time.time()
+                self._running -= 1
+                end_to_end = record.finished_at - record.submitted_at
+                self._finished_jobs += 1
+                self._finished_seconds += end_to_end
+                _obs_registry().set_gauge("service.running", self._running)
+                _obs_registry().inc("service.completed", state=state)
+                _obs_registry().observe(
+                    "service.job.seconds", end_to_end, state=state
+                )
                 # Terminal: stop coalescing onto this job — a later
                 # identical submit recomputes (or hits the warm cache).
                 if self._inflight.get(record.fingerprint) == record.id:

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Callable, Hashable, Iterator, TypeVar
 
 from ..exceptions import StoreError
+from ..obs import default_registry as _obs_registry
 from . import codec
 
 try:  # advisory locks: POSIX only; degrade to best-effort elsewhere
@@ -178,6 +179,7 @@ class ArtifactStore:
             if count_miss:
                 with self._lock:
                     self._misses += 1
+                _obs_registry().inc("store.miss")
             return None
         try:
             value = codec.decode(blob)
@@ -186,6 +188,7 @@ class ArtifactStore:
             if count_miss:
                 with self._lock:
                     self._misses += 1
+                _obs_registry().inc("store.miss")
             return None
         try:
             os.utime(path)
@@ -194,6 +197,8 @@ class ArtifactStore:
         with self._lock:
             self._hits += 1
             self._bytes_read += len(blob)
+        _obs_registry().inc("store.hit")
+        _obs_registry().inc("store.bytes_read", len(blob))
         return value
 
     def get(self, stage: str, key: Hashable) -> object | None:
@@ -218,6 +223,8 @@ class ArtifactStore:
         with self._lock:
             self._writes += 1
             self._bytes_written += len(blob)
+        _obs_registry().inc("store.write")
+        _obs_registry().inc("store.bytes_written", len(blob))
         return True
 
     # -- build-once across processes ----------------------------------------
@@ -315,6 +322,8 @@ class ArtifactStore:
             evicted += 1
         with self._lock:
             self._evicted += evicted
+        if evicted:
+            _obs_registry().inc("store.evicted", evicted)
         return evicted
 
     def clear(self) -> None:

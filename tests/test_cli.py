@@ -284,6 +284,100 @@ class TestServiceVerbs:
         out = capsys.readouterr().out
         assert "daemon" in out and "--store" in out
 
+    def test_stats_and_trace_fail_cleanly_without_daemon(
+        self, capsys, tmp_path
+    ):
+        socket = str(tmp_path / "nowhere.sock")
+        for argv in (
+            ("stats", "--socket", socket),
+            ("trace", "--socket", socket),
+        ):
+            code, _, err = run_cli(capsys, *argv)
+            assert code == 1
+            assert "cannot reach daemon" in err
+
+
+class TestStatsAndTraceVerbs:
+    """``leqa stats`` / ``leqa trace`` against an in-thread daemon."""
+
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        import threading
+        import time
+
+        from repro.exceptions import ServiceError
+        from repro.service import EstimationServer, ServiceClient
+
+        server = EstimationServer(tmp_path / "cli-obs.sock", workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.socket_path, timeout=60)
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                client.ping()
+                break
+            except ServiceError:
+                assert time.monotonic() < deadline, "daemon never came up"
+                time.sleep(0.02)
+        job_id = client.submit({"source": "ham3"})
+        client.result(job_id, timeout=60)
+        yield server, client
+        try:
+            client.shutdown()
+        except ServiceError:
+            pass
+        thread.join(timeout=30)
+
+    def test_stats_human_table(self, capsys, daemon):
+        server, _client = daemon
+        code, out, _ = run_cli(
+            capsys, "stats", "--socket", str(server.socket_path)
+        )
+        assert code == 0
+        assert "workers" in out
+        assert "queue depth" in out
+        assert "rejected" in out
+        assert "latency histogram" in out
+        assert "pipeline.stage.seconds" in out
+
+    def test_stats_json_carries_metrics(self, capsys, daemon):
+        import json
+
+        server, _client = daemon
+        code, out, _ = run_cli(
+            capsys, "stats", "--json", "--socket", str(server.socket_path)
+        )
+        assert code == 0
+        stats = json.loads(out)
+        histograms = stats["metrics"]["histograms"]
+        assert "pipeline.stage.seconds" in histograms
+        series = next(iter(histograms["pipeline.stage.seconds"].values()))
+        assert {"count", "p50", "p90", "p99"} <= set(series)
+        assert stats["cache"]["zones"]["misses"] >= 1
+
+    def test_trace_renders_span_lines(self, capsys, daemon):
+        server, _client = daemon
+        code, out, _ = run_cli(
+            capsys,
+            "trace", "-n", "100", "--socket", str(server.socket_path),
+        )
+        assert code == 0
+        assert "pipeline." in out
+
+    def test_trace_json(self, capsys, daemon):
+        import json
+
+        server, _client = daemon
+        code, out, _ = run_cli(
+            capsys,
+            "trace", "--json", "--socket", str(server.socket_path),
+        )
+        assert code == 0
+        spans = json.loads(out)
+        assert isinstance(spans, list) and spans
+        assert all("seconds" in span and "name" in span for span in spans)
+
 
 class TestBenchmarks:
     def test_lists_registry(self, capsys):

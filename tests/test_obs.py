@@ -1,0 +1,353 @@
+"""Tests for :mod:`repro.obs` — metrics registry, spans, exporter.
+
+Covers the telemetry subsystem in isolation: histogram bucket math and
+percentile edge cases, span nesting/labels/annotations, counter
+thread-safety under a real worker pool, and the JSON-line exporter
+round-trip.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    HistogramSnapshot,
+    MetricsRegistry,
+    default_registry,
+    record_span,
+    span,
+)
+from repro.obs.metrics import _label_key, label_string
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Each test sees a quiet global recorder and leaves one behind."""
+    obs.disable()
+    obs.clear_spans()
+    yield
+    obs.disable()
+    obs.clear_spans()
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry: counters and gauges
+# ---------------------------------------------------------------------------
+
+
+class TestCounters:
+    def test_inc_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hit", stage="ft")
+        reg.inc("cache.hit", stage="ft")
+        reg.inc("cache.hit", stage="iig")
+        reg.inc("cache.hit", 3, stage="iig")
+        assert reg.counter("cache.hit", stage="ft") == 2
+        assert reg.counter("cache.hit", stage="iig") == 4
+        assert reg.counter("cache.hit", stage="zones") == 0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("x", a="1", b="2")
+        reg.inc("x", b="2", a="1")
+        assert reg.counter("x", b="2", a="1") == 2
+
+    def test_gauge_is_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        reg.set_gauge("depth", 1)
+        assert reg.gauge("depth") == 1
+
+    def test_clear_resets_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("b", 1)
+        reg.observe("c", 0.5)
+        reg.clear()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_counter_thread_safety(self):
+        """Hammer one counter from many threads; no increments lost."""
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                reg.inc("hot", stage="ft")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hot", stage="ft") == threads_n * per_thread
+
+
+# ---------------------------------------------------------------------------
+# Histograms: bucket math and percentile edges
+# ---------------------------------------------------------------------------
+
+
+class TestHistograms:
+    def test_default_buckets_are_sorted_and_span_us_to_100s(self):
+        bounds = DEFAULT_LATENCY_BUCKETS
+        assert list(bounds) == sorted(bounds)
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] == pytest.approx(100.0)
+
+    def test_observations_land_in_correct_buckets(self):
+        reg = MetricsRegistry()
+        # Bucket bounds are upper-inclusive (Prometheus "le" semantics).
+        reg.observe("lat", 0.5e-6)  # below the first bound
+        reg.observe("lat", 1e-6)  # exactly on a bound
+        reg.observe("lat", 0.003)  # mid-range
+        reg.observe("lat", 1000.0)  # beyond the last finite bound
+        hist = reg.histogram("lat")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(1000.0030015, rel=1e-6)
+        bounds = hist.bounds
+        counts = hist.counts
+        # One count slot per finite bound plus the overflow bucket.
+        assert len(counts) == len(bounds) + 1
+        # First two samples share the 1e-6 bucket (<= bound).
+        assert counts[bounds.index(1e-6)] == 2
+        # The overflow sample sits in the trailing +inf bucket.
+        assert counts[-1] == 1
+
+    def test_unobserved_series_reads_as_none(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.1)
+        assert reg.histogram("lat", stage="nope") is None
+
+    def test_percentiles_on_empty_histogram_are_zero(self):
+        empty = HistogramSnapshot(
+            bounds=(1.0, 2.0), counts=(0, 0, 0), count=0, sum=0.0
+        )
+        assert empty.percentile(0.5) == 0.0
+        assert empty.percentile(0.99) == 0.0
+
+    def test_single_sample_percentiles(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.003)
+        hist = reg.histogram("lat")
+        # Every percentile of one sample resolves inside its bucket.
+        for q in (0.5, 0.9, 0.99):
+            assert 0.002 < hist.percentile(q) <= 0.005
+
+    def test_percentile_interpolates_within_bucket(self):
+        reg = MetricsRegistry()
+        for _ in range(100):
+            reg.observe("lat", 0.004)  # all in the (0.002, 0.005] bucket
+        p50 = reg.histogram("lat").percentile(0.5)
+        assert 0.002 <= p50 <= 0.005
+
+    def test_overflow_percentile_clamps_to_largest_finite_bound(self):
+        reg = MetricsRegistry()
+        for _ in range(10):
+            reg.observe("lat", 1e9)  # everything overflows
+        hist = reg.histogram("lat")
+        assert hist.percentile(0.99) == pytest.approx(
+            DEFAULT_LATENCY_BUCKETS[-1]
+        )
+
+    def test_custom_buckets_fixed_by_first_observe(self):
+        reg = MetricsRegistry()
+        reg.observe("rows", 3, buckets=(1, 10, 100))
+        reg.observe("rows", 50)
+        hist = reg.histogram("rows")
+        assert hist.bounds == (1, 10, 100)
+        assert hist.count == 2
+
+    def test_snapshot_histogram_shape(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.01, stage="ft")
+        snap = reg.snapshot()
+        series = snap["histograms"]["lat"]["stage=ft"]
+        assert series["count"] == 1
+        assert series["sum"] == pytest.approx(0.01)
+        assert {"p50", "p90", "p99"} <= set(series)
+
+    def test_label_string_sorts_keys(self):
+        assert label_string(_label_key({"b": "2", "a": "1"})) == "a=1,b=2"
+        assert label_string(_label_key({})) == ""
+
+
+# ---------------------------------------------------------------------------
+# Spans: timing, nesting, labels, ring buffer
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_span_always_observes_its_metric(self):
+        """Timing lands in the registry even with recording disabled."""
+        reg = default_registry()
+        existing = reg.histogram("test.seconds", stage="x")
+        before = existing.count if existing is not None else 0
+        with span("test.unit", metric="test.seconds", stage="x"):
+            pass
+        assert reg.histogram("test.seconds", stage="x").count == before + 1
+
+    def test_disabled_spans_do_not_record(self):
+        with span("quiet.span"):
+            pass
+        assert obs.recent_spans() == []
+
+    def test_enabled_spans_record_with_labels(self):
+        obs.enable()
+        with span("loud.span", stage="ft", engine="array") as sp:
+            sp.annotate(rows=123)
+        (record,) = obs.recent_spans()
+        assert record["name"] == "loud.span"
+        assert record["labels"] == {"stage": "ft", "engine": "array"}
+        assert record["annotations"] == {"rows": "123"}
+        assert record["seconds"] >= 0.0
+        assert record["depth"] == 0
+
+    def test_annotations_do_not_leak_into_metric_labels(self):
+        """Free-form annotations must never mint histogram series."""
+        obs.enable()
+        reg = default_registry()
+        with span("ann.span", metric="ann.seconds", stage="ft") as sp:
+            sp.annotate(rows=987654)
+        series = reg.snapshot()["histograms"]["ann.seconds"]
+        assert set(series) == {"stage=ft"}
+
+    def test_nesting_tracks_depth_and_parent(self):
+        obs.enable()
+        with span("outer"):
+            with span("inner"):
+                with span("leaf"):
+                    pass
+        records = {r["name"]: r for r in obs.recent_spans()}
+        assert records["outer"]["depth"] == 0
+        assert records["inner"]["depth"] == 1
+        assert records["inner"]["parent"] == "outer"
+        assert records["leaf"]["depth"] == 2
+        assert records["leaf"]["parent"] == "inner"
+
+    def test_span_exits_cleanly_on_exception(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        # The stack is balanced: a sibling span is depth 0 again.
+        with span("sibling"):
+            pass
+        records = {r["name"]: r for r in obs.recent_spans()}
+        assert records["doomed"]["depth"] == 0
+        assert records["sibling"]["depth"] == 0
+        assert "parent" not in records["sibling"]
+
+    def test_ring_buffer_keeps_newest(self):
+        obs.enable()
+        for i in range(obs.DEFAULT_RING_SPANS + 10):
+            with span(f"s{i}"):
+                pass
+        records = obs.recent_spans(limit=obs.DEFAULT_RING_SPANS + 10)
+        assert len(records) == obs.DEFAULT_RING_SPANS
+        assert records[-1]["name"] == f"s{obs.DEFAULT_RING_SPANS + 9}"
+
+    def test_recent_spans_limit(self):
+        obs.enable()
+        for i in range(5):
+            with span(f"s{i}"):
+                pass
+        tail = obs.recent_spans(limit=2)
+        assert [r["name"] for r in tail] == ["s3", "s4"]
+
+    def test_record_span_posthoc(self):
+        """record_span backfills timings that straddle generator yields."""
+        obs.enable()
+        reg = default_registry()
+        record_span(
+            "posthoc", 0.25, metric="posthoc.seconds", stage="ingest"
+        )
+        (record,) = obs.recent_spans()
+        assert record["name"] == "posthoc"
+        assert record["seconds"] == pytest.approx(0.25)
+        assert reg.histogram("posthoc.seconds", stage="ingest").count == 1
+
+    def test_span_under_worker_pool_threads(self):
+        """Spans from concurrent threads never corrupt each other."""
+        obs.enable()
+        errors: list[Exception] = []
+
+        def work(tag: str):
+            try:
+                for _ in range(200):
+                    with span(f"outer.{tag}"):
+                        with span(f"inner.{tag}") as sp:
+                            assert sp.depth == 1
+            except Exception as err:  # pragma: no cover - failure path
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=work, args=(str(i),)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Nesting is per-thread: every inner span has depth exactly 1.
+        inners = [
+            r
+            for r in obs.recent_spans(limit=obs.DEFAULT_RING_SPANS)
+            if r["name"].startswith("inner.")
+        ]
+        assert inners and all(r["depth"] == 1 for r in inners)
+
+
+# ---------------------------------------------------------------------------
+# Exporter: JSON-line round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestExporter:
+    def test_export_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        obs.enable(export=path)
+        with span("exported", stage="ft") as sp:
+            sp.annotate(rows=7)
+        with span("exported.second"):
+            pass
+        obs.disable()  # flushes and closes the export handle
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "exported"
+        assert first["labels"] == {"stage": "ft"}
+        assert first["annotations"] == {"rows": "7"}
+        assert first["seconds"] >= 0.0
+
+    def test_unwritable_export_path_degrades_gracefully(self, tmp_path):
+        bad = tmp_path / "no-such-dir" / "spans.jsonl"
+        obs.enable(export=bad)
+        with span("lost"):
+            pass  # must not raise; exporter silently drops itself
+        assert [r["name"] for r in obs.recent_spans()] == ["lost"]
+
+    def test_env_var_enables_recording(self, monkeypatch, tmp_path):
+        import importlib
+
+        import repro.obs.tracing as tracing
+
+        monkeypatch.setenv(obs.ENABLE_ENV, "1")
+        monkeypatch.setenv(obs.EXPORT_ENV, str(tmp_path / "env.jsonl"))
+        importlib.reload(tracing)
+        try:
+            assert tracing.enabled()
+            with tracing.span("from-env"):
+                pass
+            tracing.disable()
+            exported = (tmp_path / "env.jsonl").read_text()
+            assert "from-env" in exported
+        finally:
+            monkeypatch.delenv(obs.ENABLE_ENV)
+            monkeypatch.delenv(obs.EXPORT_ENV)
+            importlib.reload(tracing)
+            importlib.reload(obs)

@@ -21,7 +21,7 @@ import pytest
 
 from repro.engine import register_backend
 from repro.engine.backend import BackendResult
-from repro.exceptions import ServiceError
+from repro.exceptions import QueueDrainingError, QueueFullError, ServiceError
 from repro.service import (
     EstimationServer,
     JobQueue,
@@ -249,6 +249,82 @@ class TestJobQueue:
         assert stats["jobs"]["done"] == 1
         assert stats["workers"] == 1
         assert "estimate" in stats["cache"]
+        assert stats["queue_depth"] == 0
+        assert stats["draining"] is False
+        assert stats["rejected"] == {"full": 0, "draining": 0}
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_queued_work_and_rejects_new_submits(self):
+        _RecordingBackend.delay = 0.1
+        queue = JobQueue(workers=1)
+        queue.start()
+        ids = [
+            queue.submit({"source": source, "backend": "svc-recorder"})
+            for source in ("ham3", "ham15", "8bitadder")
+        ]
+        queue.begin_drain()
+        with pytest.raises(QueueDrainingError, match="draining"):
+            queue.submit(
+                {
+                    "source": "ham3",
+                    "backend": "svc-recorder",
+                    "params": {"width": 14, "height": 14},
+                }
+            )
+        assert queue.drain(timeout=60) is True
+        # Every job admitted before the drain ran to completion.
+        for job_id in ids:
+            assert queue.status(job_id)["state"] == "done"
+        assert sorted(_RecordingBackend.calls) == [
+            "8bitadder", "ham15", "ham3"
+        ]
+        stats = queue.stats()
+        assert stats["draining"] is True
+        assert stats["rejected"]["draining"] == 1
+
+    def test_drain_is_idempotent_and_empty_queue_drains_immediately(self):
+        queue = JobQueue(workers=1)
+        queue.start()
+        assert queue.drain(timeout=10) is True
+        assert queue.drain(timeout=10) is True
+
+    def test_drain_without_workers_reports_failure(self):
+        queue = JobQueue(workers=1)  # never started
+        queue.submit({"source": "ham3"})
+        assert queue.drain(timeout=1) is False
+
+
+class TestBoundedAdmission:
+    def test_full_queue_rejects_with_retry_after(self):
+        queue = JobQueue(workers=1, max_depth=2)  # never started: jobs wait
+        queue.submit({"source": "ham3"})
+        queue.submit({"source": "ham15"})
+        with pytest.raises(QueueFullError, match="queue is full") as exc:
+            queue.submit({"source": "8bitadder"})
+        assert exc.value.retry_after > 0
+        assert queue.stats()["rejected"]["full"] == 1
+
+    def test_coalesced_submits_are_admitted_when_full(self):
+        queue = JobQueue(workers=1, max_depth=1)
+        first = queue.submit({"source": "ham3"})
+        # The duplicate adds no work, so admission control lets it in.
+        assert queue.submit({"source": "ham3"}) == first
+        assert queue.stats()["coalesced"] == 1
+
+    def test_depth_frees_up_as_jobs_run(self):
+        with JobQueue(workers=1, max_depth=1) as queue:
+            job_id = queue.submit({"source": "ham3"})
+            queue.result(job_id, timeout=60)
+            # The first job is terminal: the backlog slot is free again.
+            other = queue.submit(
+                {"source": "ham3", "params": {"width": 12, "height": 12}}
+            )
+            assert queue.result(other, timeout=60)["state"] == "done"
+
+    def test_max_depth_validation(self):
+        with pytest.raises(ServiceError, match="max_depth"):
+            JobQueue(workers=1, max_depth=0)
 
 
 @pytest.fixture()
@@ -317,6 +393,92 @@ class TestDaemon:
         server, _client = daemon
         with pytest.raises(ServiceError, match="already serving"):
             EstimationServer(server.socket_path)
+
+    def test_stats_carries_metrics_snapshot(self, daemon):
+        _server, client = daemon
+        job_id = client.submit(
+            {"source": "ham3", "params": {"width": 12, "height": 12}}
+        )
+        client.result(job_id, timeout=60)
+        stats = client.stats()
+        metrics = stats["metrics"]
+        # Per-stage latency histograms with percentile summaries.
+        stage_hists = metrics["histograms"]["pipeline.stage.seconds"]
+        assert any("stage=zones" in key for key in stage_hists)
+        sample = next(iter(stage_hists.values()))
+        assert sample["count"] >= 1
+        assert {"p50", "p90", "p99"} <= set(sample)
+        # Per-job end-to-end histogram and queue counters.
+        job_hist = metrics["histograms"]["service.job.seconds"]
+        assert any("state=done" in key for key in job_hist)
+        assert metrics["counters"]["service.submitted"][""] >= 1
+        # Cache counters are in the queue payload, one row per stage.
+        assert stats["cache"]["zones"]["misses"] >= 1
+
+    def test_trace_tails_recent_spans(self, daemon):
+        _server, client = daemon
+        job_id = client.submit(
+            {"source": "ham3", "params": {"width": 16, "height": 16}}
+        )
+        client.result(job_id, timeout=60)
+        spans = client.trace(limit=200)
+        names = {span["name"] for span in spans}
+        assert any(name.startswith("pipeline.") for name in names)
+        assert all("seconds" in span for span in spans)
+
+    def test_shutdown_drains_inflight_work(self, tmp_path):
+        _RecordingBackend.delay = 0.2
+        server = EstimationServer(tmp_path / "drain.sock", workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.socket_path, timeout=30)
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                client.ping()
+                break
+            except ServiceError:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        ids = [
+            client.submit({"source": source, "backend": "svc-recorder"})
+            for source in ("ham3", "ham15")
+        ]
+        queue = server.queue
+        client.shutdown()
+        # A submit racing the shutdown is rejected with the draining
+        # status on the wire (the socket may already be closed for a
+        # late-enough submit; both outcomes are a refusal).
+        with pytest.raises(ServiceError, match="draining|cannot reach"):
+            client.submit(
+                {
+                    "source": "ham3",
+                    "backend": "svc-recorder",
+                    "params": {"width": 14, "height": 14},
+                }
+            )
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        # Every admitted job finished before the daemon exited.
+        for job_id in ids:
+            assert queue.status(job_id)["state"] == "done"
+        assert len(_RecordingBackend.calls) == 2
+
+    def test_daemon_max_depth_rejection_carries_retry_after(self, tmp_path):
+        queue = JobQueue(workers=1, max_depth=1)  # not started: jobs wait
+        server = EstimationServer(tmp_path / "full.sock", queue=queue)
+        accepted = server.dispatch(
+            {"op": "submit", "spec": {"source": "ham3"}}
+        )
+        assert accepted["ok"]
+        rejected = server.dispatch(
+            {"op": "submit", "spec": {"source": "ham15"}}
+        )
+        assert rejected["ok"] is False
+        assert rejected["rejected"] == "full"
+        assert rejected["retry_after"] > 0
+        server._server.server_close()
+        (tmp_path / "full.sock").unlink(missing_ok=True)
 
 
 class TestServeSubprocessRoundTrip:
